@@ -1,0 +1,109 @@
+// Command crowdserved runs the HTTP crowdsourcing marketplace
+// (internal/crowdserve): requesters post rounds of pair-wise questions,
+// workers poll for assignments and submit judgments.
+//
+//	crowdserved -addr :8800
+//
+// For demos without humans, -simworkers N spawns N simulated workers that
+// answer from a built-in dataset's ground truth:
+//
+//	crowdserved -addr :8800 -simworkers 5 -demo movies -reliability 0.9
+//
+// A crowd-enabled skyline query can then run against the marketplace:
+//
+//	crowdsky -demo movies -server http://localhost:8800
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crowdsky"
+	"crowdsky/internal/crowd"
+	"crowdsky/internal/crowdserve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8800", "listen address")
+		simWorkers  = flag.Int("simworkers", 0, "number of simulated workers to run against this server")
+		demo        = flag.String("demo", "movies", "dataset whose latent values simulated workers answer from: toy, rectangles, movies or mlb")
+		reliability = flag.Float64("reliability", 0.9, "simulated worker correctness probability")
+		lease       = flag.Duration("lease", crowdserve.DefaultLease, "assignment lease duration")
+		seed        = flag.Int64("seed", 1, "simulated worker seed")
+		state       = flag.String("state", "", "snapshot file: state is restored at startup and saved on SIGINT/SIGTERM and periodically")
+	)
+	flag.Parse()
+
+	srv := crowdserve.NewServer()
+	srv.SetLease(*lease)
+
+	if *state != "" {
+		if err := srv.LoadFile(*state); err != nil {
+			fmt.Fprintf(os.Stderr, "loading state: %v\n", err)
+			os.Exit(1)
+		}
+		// Periodic snapshots plus a final one on shutdown signals.
+		go func() {
+			for range time.Tick(10 * time.Second) {
+				if err := srv.SaveFile(*state); err != nil {
+					fmt.Fprintf(os.Stderr, "saving state: %v\n", err)
+				}
+			}
+		}()
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigCh
+			if err := srv.SaveFile(*state); err != nil {
+				fmt.Fprintf(os.Stderr, "saving state: %v\n", err)
+			}
+			os.Exit(0)
+		}()
+	}
+
+	if *simWorkers > 0 {
+		var d *crowdsky.Dataset
+		switch *demo {
+		case "toy":
+			d = crowdsky.Toy()
+		case "rectangles":
+			d = crowdsky.Rectangles()
+		case "movies":
+			d = crowdsky.Movies()
+		case "mlb":
+			d = crowdsky.MLBPitchers()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -demo %q\n", *demo)
+			os.Exit(2)
+		}
+		baseURL := "http://localhost" + *addr
+		if (*addr)[0] != ':' {
+			baseURL = "http://" + *addr
+		}
+		go func() {
+			// Give the listener a moment; workers retry anyway.
+			time.Sleep(100 * time.Millisecond)
+			crowdserve.SimulateWorkers(context.Background(), baseURL, crowdserve.WorkerConfig{
+				Count:       *simWorkers,
+				Truth:       crowd.DatasetTruth{Data: d},
+				Reliability: *reliability,
+				Seed:        *seed,
+			})
+		}()
+		fmt.Fprintf(os.Stderr, "running %d simulated workers (reliability %.2f) against %s dataset\n",
+			*simWorkers, *reliability, *demo)
+	}
+
+	fmt.Fprintf(os.Stderr, "crowdserved listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

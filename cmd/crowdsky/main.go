@@ -1,0 +1,199 @@
+// Command crowdsky runs a crowd-enabled skyline query over a CSV file.
+//
+// The crowd is either simulated from a latent column (for experiments) or
+// the operator, answering the pair-wise questions interactively.
+//
+// Examples:
+//
+//	# Simulated crowd: the "rating" column holds the latent ground truth,
+//	# larger box office / year / rating preferred.
+//	crowdsky -csv movies.csv -name title -known -box_office,-year \
+//	         -crowd -rating -reliability 0.8 -workers 5
+//
+//	# Interactive crowd: you answer every comparison on the terminal.
+//	crowdsky -csv movies.csv -name title -known -box_office,-year \
+//	         -crowd -rating -interactive
+//
+//	# Built-in demo datasets: -demo toy|rectangles|movies|mlb.
+//	crowdsky -demo movies
+//
+// Column syntax: a leading "-" marks a larger-is-better column (values are
+// flipped to the internal smaller-is-better convention).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"crowdsky"
+	"crowdsky/internal/crowdserve"
+	"crowdsky/internal/journal"
+)
+
+func main() {
+	var (
+		csvPath     = flag.String("csv", "", "input CSV file")
+		nameCol     = flag.String("name", "", "column holding tuple names")
+		knownCols   = flag.String("known", "", "comma-separated known attribute columns (prefix - for larger-is-better)")
+		crowdCols   = flag.String("crowd", "", "comma-separated crowd attribute columns (latent ground truth for simulation)")
+		demo        = flag.String("demo", "", "built-in dataset: toy, rectangles, movies or mlb")
+		interactive = flag.Bool("interactive", false, "ask the operator instead of simulating")
+		reliability = flag.Float64("reliability", 0.9, "simulated worker correctness probability")
+		workers     = flag.Int("workers", 5, "workers per question (majority voting)")
+		dynamic     = flag.Bool("dynamic", false, "use dynamic (importance-weighted) voting")
+		parallel    = flag.String("parallel", "sl", "round scheduling: serial, dset or sl")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		server      = flag.String("server", "", "crowdserve marketplace URL (e.g. http://localhost:8800); overrides -interactive/-reliability")
+		journalPath = flag.String("journal", "", "JSONL journal file: answers are logged, and an existing journal resumes the run without re-asking")
+	)
+	flag.Parse()
+
+	d, err := loadDataset(*demo, *csvPath, *nameCol, *knownCols, *crowdCols)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var pf crowdsky.Platform
+	switch {
+	case *server != "":
+		pf = crowdserve.NewClient(*server)
+	case *interactive:
+		pf = crowdsky.NewInteractiveCrowd(d, os.Stdin, os.Stderr)
+	default:
+		pf = crowdsky.NewSimulatedCrowd(d, crowdsky.CrowdConfig{
+			Reliability: *reliability,
+			Seed:        *seed,
+		})
+	}
+
+	if *journalPath != "" {
+		wrapped, cleanup, err := withJournal(*journalPath, pf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer cleanup()
+		pf = wrapped
+	}
+
+	cfg := crowdsky.RunConfig{}
+	switch *parallel {
+	case "serial":
+		cfg.Parallelism = crowdsky.Serial
+	case "dset":
+		cfg.Parallelism = crowdsky.ByDominatingSets
+	case "sl":
+		cfg.Parallelism = crowdsky.BySkylineLayers
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -parallel %q (want serial, dset or sl)\n", *parallel)
+		os.Exit(2)
+	}
+	if *workers > 1 {
+		if *dynamic {
+			cfg.Voting = crowdsky.DynamicVoting(d, *workers)
+		} else {
+			cfg.Voting = crowdsky.StaticVoting(*workers)
+		}
+	}
+
+	res, err := crowdsky.Run(d, pf, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("crowdsourced skyline (%d of %d tuples):\n", len(res.Skyline), d.N())
+	for _, t := range res.Skyline {
+		fmt.Printf("  %s\n", describeTuple(d, t))
+	}
+	fmt.Printf("questions: %d   rounds: %d   worker answers: %d   cost: $%.2f\n",
+		res.Questions, res.Rounds, res.WorkerAnswers, res.Cost)
+	if res.Contradictions > 0 {
+		fmt.Printf("contradictory crowd answers dropped: %d\n", res.Contradictions)
+	}
+}
+
+// withJournal wraps the platform with journaling and resume: existing
+// entries in path are replayed for free, new answers are appended.
+func withJournal(path string, pf crowdsky.Platform) (crowdsky.Platform, func(), error) {
+	var entries []journal.Entry
+	if data, err := os.ReadFile(path); err == nil {
+		entries, err = journal.Read(bytes.NewReader(data))
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading journal %s: %w", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "resuming from journal %s (%d answers)\n", path, len(entries))
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	jp, err := journal.NewPlatform(pf, entries, journal.NewWriter(f))
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return jp, func() { f.Close() }, nil
+}
+
+func loadDataset(demo, csvPath, nameCol, knownCols, crowdCols string) (*crowdsky.Dataset, error) {
+	switch demo {
+	case "toy":
+		return crowdsky.Toy(), nil
+	case "rectangles":
+		return crowdsky.Rectangles(), nil
+	case "movies":
+		return crowdsky.Movies(), nil
+	case "mlb":
+		return crowdsky.MLBPitchers(), nil
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown -demo %q (want toy, rectangles, movies or mlb)", demo)
+	}
+	if csvPath == "" {
+		return nil, fmt.Errorf("specify -csv <file> or -demo <name>")
+	}
+	if knownCols == "" {
+		return nil, fmt.Errorf("-known is required with -csv")
+	}
+	f, err := os.Open(csvPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	split := func(s string) []string {
+		if s == "" {
+			return nil
+		}
+		parts := strings.Split(s, ",")
+		for i := range parts {
+			parts[i] = strings.TrimSpace(parts[i])
+		}
+		return parts
+	}
+	return crowdsky.ReadCSV(f, crowdsky.CSVOptions{
+		NameColumn:   nameCol,
+		KnownColumns: split(knownCols),
+		CrowdColumns: split(crowdCols),
+	})
+}
+
+func describeTuple(d *crowdsky.Dataset, t int) string {
+	var b strings.Builder
+	b.WriteString(d.Name(t))
+	b.WriteString(" (")
+	for j := 0; j < d.KnownDims(); j++ {
+		if j > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%g", d.KnownAttrName(j), d.Known(t, j))
+	}
+	b.WriteString(")")
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadDatasetDemos(t *testing.T) {
+	cases := map[string]int{"toy": 12, "rectangles": 50, "movies": 50, "mlb": 40}
+	for demo, wantN := range cases {
+		d, err := loadDataset(demo, "", "", "", "")
+		if err != nil {
+			t.Fatalf("%s: %v", demo, err)
+		}
+		if d.N() != wantN {
+			t.Errorf("%s: n = %d, want %d", demo, d.N(), wantN)
+		}
+	}
+}
+
+func TestLoadDatasetErrors(t *testing.T) {
+	if _, err := loadDataset("bogus", "", "", "", ""); err == nil {
+		t.Errorf("unknown demo accepted")
+	}
+	if _, err := loadDataset("", "", "", "", ""); err == nil {
+		t.Errorf("missing csv accepted")
+	}
+	if _, err := loadDataset("", "some.csv", "", "", ""); err == nil {
+		t.Errorf("missing -known accepted")
+	}
+	if _, err := loadDataset("", "/nonexistent/file.csv", "", "a", ""); err == nil {
+		t.Errorf("unreadable csv accepted")
+	}
+}
+
+func TestLoadDatasetFromCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	csv := "title,gross,year,rating\nAlpha,100,2001,7.5\nBeta,200,2003,8.1\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := loadDataset("", path, "title", "-gross,-year", "-rating")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 2 || d.KnownDims() != 2 || d.CrowdDims() != 1 {
+		t.Fatalf("shape wrong: %v", d)
+	}
+	if d.Name(0) != "Alpha" {
+		t.Errorf("name = %q", d.Name(0))
+	}
+}
+
+func TestDescribeTuple(t *testing.T) {
+	d, err := loadDataset("toy", "", "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := describeTuple(d, d.Index("b"))
+	if !strings.Contains(got, "b (") || !strings.Contains(got, "A1=1") {
+		t.Errorf("describeTuple = %q", got)
+	}
+}

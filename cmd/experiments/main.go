@@ -1,0 +1,109 @@
+// Command experiments regenerates the tables and figures of the CrowdSky
+// paper's evaluation (Section 6) as text output.
+//
+// Usage:
+//
+//	experiments -fig 6a                 # one experiment
+//	experiments -all                    # everything
+//	experiments -all -scale 1 -runs 10  # full paper scale, 10-run averages
+//	experiments -list                   # show available experiment ids
+//
+// Scale multiplies the paper's cardinality grid (default 0.25 keeps a full
+// -all regeneration to a couple of minutes on a laptop; 1.0 is paper
+// scale). Runs is the number of averaged repetitions (the paper uses 10).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"crowdsky/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "experiment id to run (e.g. 6a, 12b, table1, q-accuracy)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list available experiment ids")
+		scale   = flag.Float64("scale", 0.25, "cardinality scale factor (1.0 = paper scale)")
+		runs    = flag.Int("runs", 3, "averaged repetitions per sweep point (paper: 10)")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		verbose = flag.Bool("v", false, "print per-point progress")
+		outDir  = flag.String("out", "", "also write each figure as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Runs: *runs, Seed: *seed, Scale: *scale}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *fig != "":
+		for _, id := range strings.Split(*fig, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "specify -fig <id> or -all; -list shows the ids")
+		os.Exit(2)
+	}
+
+	for i, id := range ids {
+		runner, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; -list shows the ids\n", id)
+			os.Exit(2)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if *outDir != "" {
+			if builder, hasFig := experiments.FigureBuilders[id]; hasFig {
+				if err := exportCSV(cfg, *outDir, id, builder); err != nil {
+					fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+					os.Exit(1)
+				}
+				continue
+			}
+		}
+		if err := runner(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// exportCSV builds the figure once, renders it to stdout and writes the
+// CSV next to it.
+func exportCSV(cfg experiments.Config, dir, id string, builder func(experiments.Config) (*experiments.Figure, error)) error {
+	fig, err := builder(cfg)
+	if err != nil {
+		return err
+	}
+	if err := fig.Render(os.Stdout); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "fig"+id+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fig.WriteCSV(f)
+}

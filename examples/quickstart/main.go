@@ -1,0 +1,59 @@
+// Quickstart: compute a crowd-enabled skyline over the paper's running
+// example (Figure 1) with a perfect simulated crowd, then repeat with noisy
+// workers and majority voting.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"crowdsky"
+)
+
+func main() {
+	// The toy dataset: 12 tuples, two known attributes (A1, A2), one crowd
+	// attribute (A3) whose values only the crowd can compare.
+	d := crowdsky.Toy()
+	fmt.Printf("dataset: %v\n\n", d)
+
+	// --- 1. Perfect crowd: the cost/latency setting of the paper --------
+	pf := crowdsky.NewPerfectCrowd(d)
+	res, err := crowdsky.Run(d, pf, crowdsky.RunConfig{
+		Parallelism: crowdsky.BySkylineLayers, // fewest rounds
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("perfect crowd, full pruning, skyline-layer parallelism:")
+	printSkyline(d, res)
+
+	// --- 2. Noisy crowd with majority voting ----------------------------
+	noisy := crowdsky.NewSimulatedCrowd(d, crowdsky.CrowdConfig{
+		Reliability: 0.8, // each worker is right 80% of the time
+		Seed:        42,
+	})
+	res, err = crowdsky.Run(d, noisy, crowdsky.RunConfig{
+		Voting: crowdsky.StaticVoting(5), // 5 workers per question
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("noisy crowd (p=0.8), 5-worker majority voting:")
+	printSkyline(d, res)
+
+	// Grade the noisy result against the latent ground truth.
+	prec, rec := crowdsky.PrecisionRecall(res.Skyline, crowdsky.Oracle(d), crowdsky.KnownSkyline(d))
+	fmt.Printf("accuracy vs ground truth: precision %.2f, recall %.2f\n", prec, rec)
+}
+
+func printSkyline(d *crowdsky.Dataset, res *crowdsky.Result) {
+	fmt.Print("  skyline: ")
+	for i, t := range res.Skyline {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(d.Name(t))
+	}
+	fmt.Printf("\n  questions=%d rounds=%d cost=$%.2f\n\n", res.Questions, res.Rounds, res.Cost)
+}

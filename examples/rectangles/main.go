@@ -1,0 +1,53 @@
+// Rectangles: the paper's Q1 scenario (Section 6.2). Fifty rectangles of
+// sizes (30+3i)x(40+5i); width and height are known, and the crowd judges
+// which of two (randomly rotated, in the paper's AMT images) rectangles has
+// the larger area. Because the crowd attribute has an exact ground truth,
+// the example sweeps worker reliability and shows how majority voting
+// repairs individual errors — the paper reports precision = recall = 1.0
+// with 5-worker voting.
+//
+// Run with: go run ./examples/rectangles
+package main
+
+import (
+	"fmt"
+
+	"crowdsky"
+)
+
+func main() {
+	d := crowdsky.Rectangles()
+	fmt.Printf("Q1: %d rectangles; known = {width, height}, crowd = {area}\n\n", d.N())
+
+	fmt.Printf("%-12s %-8s %10s %10s %10s\n", "reliability", "workers", "questions", "precision", "recall")
+	for _, p := range []float64{1.0, 0.9, 0.8, 0.7} {
+		for _, omega := range []int{1, 5} {
+			// Average accuracy over a few seeds.
+			var precSum, recSum float64
+			var questions int
+			const runs = 5
+			for seed := int64(0); seed < runs; seed++ {
+				pf := crowdsky.NewSimulatedCrowd(d, crowdsky.CrowdConfig{Reliability: p, Seed: seed})
+				cfg := crowdsky.RunConfig{Parallelism: crowdsky.BySkylineLayers}
+				if omega > 1 {
+					cfg.Voting = crowdsky.StaticVoting(omega)
+				}
+				res, err := crowdsky.Run(d, pf, cfg)
+				if err != nil {
+					panic(err)
+				}
+				prec, rec := crowdsky.PrecisionRecall(res.Skyline, crowdsky.Oracle(d), crowdsky.KnownSkyline(d))
+				precSum += prec
+				recSum += rec
+				questions = res.Questions
+			}
+			fmt.Printf("%-12.1f %-8d %10d %10.2f %10.2f\n",
+				p, omega, questions, precSum/runs, recSum/runs)
+		}
+	}
+
+	fmt.Println("\nThe dataset is a total chain (both dimensions grow with i), so the")
+	fmt.Println("true skyline is the single largest rectangle; every question merely")
+	fmt.Println("validates a non-skyline tuple, which is why CrowdSky needs ~1 question")
+	fmt.Println("per tuple while the sort-based baseline needs hundreds (Figure 12a).")
+}

@@ -1,0 +1,3 @@
+module crowdsky
+
+go 1.22

@@ -1,0 +1,102 @@
+// Package bitset implements a fixed-capacity bit set used for dense
+// reachability and domination bookkeeping. Tuple indices are small dense
+// integers throughout this repository, which makes word-packed bitsets both
+// the fastest and the most memory-frugal representation for transitive
+// closures (package prefgraph) and co-domination counts (package skyline).
+package bitset
+
+import "math/bits"
+
+// Set is a bit set over [0, n) packed into 64-bit words. The zero value is
+// an empty set of capacity 0; use New to size it.
+type Set []uint64
+
+// New returns an empty bit set able to hold n bits.
+func New(n int) Set {
+	return make(Set, (n+63)/64)
+}
+
+// Add sets bit i.
+func (s Set) Add(i int) { s[i>>6] |= 1 << (uint(i) & 63) }
+
+// Remove clears bit i.
+func (s Set) Remove(i int) { s[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Has reports whether bit i is set.
+func (s Set) Has(i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Or sets s to the union s | t. Both sets must have the same capacity.
+func (s Set) Or(t Set) {
+	for i, w := range t {
+		s[i] |= w
+	}
+}
+
+// OrChanged is like Or but reports whether s changed.
+func (s Set) OrChanged(t Set) bool {
+	changed := false
+	for i, w := range t {
+		nw := s[i] | w
+		if nw != s[i] {
+			s[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// AndNot sets s to the difference s &^ t.
+func (s Set) AndNot(t Set) {
+	for i, w := range t {
+		s[i] &^= w
+	}
+}
+
+// Count returns the number of set bits.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndCount returns |s & t| without materializing the intersection.
+func (s Set) AndCount(t Set) int {
+	c := 0
+	for i, w := range t {
+		c += bits.OnesCount64(s[i] & w)
+	}
+	return c
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	copy(c, s)
+	return c
+}
+
+// Clear removes all elements.
+func (s Set) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (s Set) ForEach(fn func(i int)) {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi<<6 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Members appends the indices of all set bits to dst and returns it.
+func (s Set) Members(dst []int) []int {
+	s.ForEach(func(i int) { dst = append(dst, i) })
+	return dst
+}

@@ -1,0 +1,112 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if s.Count() != 0 {
+		t.Fatalf("fresh set non-empty")
+	}
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(129)
+	if !s.Has(0) || !s.Has(63) || !s.Has(64) || !s.Has(129) || s.Has(1) {
+		t.Errorf("Has wrong across word boundaries")
+	}
+	if s.Count() != 4 {
+		t.Errorf("Count = %d, want 4", s.Count())
+	}
+	s.Remove(63)
+	if s.Has(63) || s.Count() != 3 {
+		t.Errorf("Remove broken")
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	want := []int{0, 64, 129}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("ForEach = %v, want %v", got, want)
+	}
+	if m := s.Members(nil); len(m) != 3 || m[2] != 129 {
+		t.Errorf("Members = %v", m)
+	}
+	c := s.Clone()
+	c.Clear()
+	if c.Count() != 0 || s.Count() != 3 {
+		t.Errorf("Clone/Clear aliasing")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(200)
+	b := New(200)
+	a.Add(1)
+	a.Add(100)
+	b.Add(100)
+	b.Add(150)
+	if a.AndCount(b) != 1 {
+		t.Errorf("AndCount = %d, want 1", a.AndCount(b))
+	}
+	u := a.Clone()
+	u.Or(b)
+	if u.Count() != 3 || !u.Has(150) {
+		t.Errorf("Or wrong: %v", u.Members(nil))
+	}
+	if u.OrChanged(b) {
+		t.Errorf("OrChanged reported change on superset")
+	}
+	fresh := New(200)
+	if !fresh.OrChanged(a) || fresh.Count() != 2 {
+		t.Errorf("OrChanged failed to apply")
+	}
+	u.AndNot(b)
+	if u.Has(100) || u.Has(150) || !u.Has(1) {
+		t.Errorf("AndNot wrong: %v", u.Members(nil))
+	}
+}
+
+// TestAgainstMapModel drives random operations against a map-based model.
+func TestAgainstMapModel(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 300
+		s := New(n)
+		model := map[int]bool{}
+		for step := 0; step < 500; step++ {
+			i := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				s.Add(i)
+				model[i] = true
+			} else {
+				s.Remove(i)
+				delete(model, i)
+			}
+		}
+		if s.Count() != len(model) {
+			return false
+		}
+		var got, want []int
+		got = s.Members(got)
+		for i := range model {
+			want = append(want, i)
+		}
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

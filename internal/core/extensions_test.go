@@ -1,0 +1,258 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crowdsky/internal/dataset"
+	"crowdsky/internal/metrics"
+	"crowdsky/internal/skyline"
+)
+
+// TestRoundRobinAC: the round-robin multi-attribute strategy (Section 6.1's
+// unevaluated suggestion) never changes the skyline under a perfect crowd.
+func TestRoundRobinAC(t *testing.T) {
+	prop := func(seed int64, rawN uint8, rawDC uint8) bool {
+		n := int(rawN)%50 + 4
+		dc := int(rawDC)%3 + 1
+		d := randomDataset(seed, n, 3, dc, dataset.Independent)
+		want := skyline.OracleSkyline(d)
+
+		rr := AllPruning()
+		rr.RoundRobinAC = true
+		resRR := CrowdSky(d, perfect(d), rr)
+
+		if !metrics.SameSet(resRR.Skyline, want) {
+			t.Logf("seed %d: round-robin skyline %v != oracle %v", seed, resRR.Skyline, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundRobinSavesOnMultiAttr: with several crowd attributes the
+// strategy saves questions on average (an individual dataset can go either
+// way because skipping an attribute also withholds information from the
+// preference tree).
+func TestRoundRobinSavesOnMultiAttr(t *testing.T) {
+	var plain, rrTotal int
+	for seed := int64(0); seed < 10; seed++ {
+		d := randomDataset(seed, 120, 3, 3, dataset.Independent)
+		plain += CrowdSky(d, perfect(d), AllPruning()).Questions
+		rr := AllPruning()
+		rr.RoundRobinAC = true
+		rrTotal += CrowdSky(d, perfect(d), rr).Questions
+	}
+	if rrTotal >= plain {
+		t.Errorf("round-robin asked %d questions on average, want fewer than %d", rrTotal, plain)
+	}
+}
+
+// TestBudgetCap: with a question budget (the fixed-budget setting of [12])
+// the run stops at the cap, flags truncation, and reads out optimistically —
+// the reported skyline is a superset of the true skyline because no tuple is
+// wrongly killed.
+func TestBudgetCap(t *testing.T) {
+	d := randomDataset(5, 80, 2, 1, dataset.Independent)
+	full := CrowdSky(d, perfect(d), AllPruning())
+	want := skyline.OracleSkyline(d)
+
+	for _, budget := range []int{1, 5, full.Questions / 2, full.Questions} {
+		opts := AllPruning()
+		opts.MaxQuestions = budget
+		res := CrowdSky(d, perfect(d), opts)
+		if res.Questions > budget {
+			t.Errorf("budget %d: asked %d questions", budget, res.Questions)
+		}
+		if budget < full.Questions && !res.Truncated {
+			t.Errorf("budget %d: truncation not flagged", budget)
+		}
+		if budget >= full.Questions && res.Truncated {
+			t.Errorf("budget %d: flagged truncated despite sufficient budget", budget)
+		}
+		// Optimistic superset property.
+		inRes := make(map[int]bool)
+		for _, s := range res.Skyline {
+			inRes[s] = true
+		}
+		for _, s := range want {
+			if !inRes[s] {
+				t.Errorf("budget %d: true skyline tuple %d missing from optimistic readout", budget, s)
+			}
+		}
+	}
+}
+
+// TestBudgetCapMonotone: a larger budget never yields a larger (less
+// refined) optimistic skyline under a perfect crowd.
+func TestBudgetCapMonotone(t *testing.T) {
+	d := randomDataset(9, 60, 2, 1, dataset.AntiCorrelated)
+	prev := d.N() + 1
+	for _, budget := range []int{2, 8, 32, 128, 1 << 20} {
+		opts := AllPruning()
+		opts.MaxQuestions = budget
+		res := CrowdSky(d, perfect(d), opts)
+		if len(res.Skyline) > prev {
+			t.Errorf("budget %d: skyline grew from %d to %d", budget, prev, len(res.Skyline))
+		}
+		prev = len(res.Skyline)
+	}
+}
+
+// TestBudgetCapParallel: both parallel schedulers honor the budget too.
+func TestBudgetCapParallel(t *testing.T) {
+	d := randomDataset(11, 70, 2, 1, dataset.Independent)
+	want := skyline.OracleSkyline(d)
+	for name, run := range map[string]func(opts Options) *Result{
+		"dset": func(opts Options) *Result { return ParallelDSet(d, perfect(d), opts) },
+		"sl":   func(opts Options) *Result { return ParallelSL(d, perfect(d), opts) },
+	} {
+		opts := AllPruning()
+		opts.MaxQuestions = 10
+		res := run(opts)
+		if res.Questions > 10 {
+			t.Errorf("%s: asked %d questions with budget 10", name, res.Questions)
+		}
+		if !res.Truncated {
+			t.Errorf("%s: truncation not flagged", name)
+		}
+		inRes := make(map[int]bool)
+		for _, s := range res.Skyline {
+			inRes[s] = true
+		}
+		for _, s := range want {
+			if !inRes[s] {
+				t.Errorf("%s: true skyline tuple %d missing from optimistic readout", name, s)
+			}
+		}
+	}
+}
+
+// TestProbabilisticCollapsesWithFullBudget: with no budget cap every tuple
+// is complete and the probabilities are the exact 0/1 skyline indicator.
+func TestProbabilisticCollapsesWithFullBudget(t *testing.T) {
+	d := randomDataset(31, 60, 2, 1, dataset.Independent)
+	res := CrowdSkyProbabilistic(d, perfect(d), AllPruning())
+	want := make(map[int]bool)
+	for _, s := range skyline.OracleSkyline(d) {
+		want[s] = true
+	}
+	for _, tp := range res.Probabilities {
+		wantP := 0.0
+		if want[tp.Tuple] {
+			wantP = 1.0
+		}
+		if tp.Probability != wantP {
+			t.Errorf("tuple %d: probability %.2f, want %.0f", tp.Tuple, tp.Probability, wantP)
+		}
+	}
+	if !metrics.SameSet(res.Skyline, skyline.OracleSkyline(d)) {
+		t.Errorf("probabilistic run changed the skyline")
+	}
+}
+
+// TestProbabilisticUnderBudget: with a tight budget, probabilities are
+// proper (in [0,1]), true skyline tuples never get probability 0, and the
+// mean probability of true skyline tuples exceeds that of non-skyline
+// tuples (the ranking is informative).
+func TestProbabilisticUnderBudget(t *testing.T) {
+	d := randomDataset(33, 120, 2, 1, dataset.Independent)
+	full := CrowdSky(d, perfect(d), AllPruning())
+	opts := AllPruning()
+	opts.MaxQuestions = full.Questions / 3
+	res := CrowdSkyProbabilistic(d, perfect(d), opts)
+	if !res.Truncated {
+		t.Fatalf("budgeted run not truncated")
+	}
+	want := make(map[int]bool)
+	for _, s := range skyline.OracleSkyline(d) {
+		want[s] = true
+	}
+	var skySum, skyN, nonSum, nonN float64
+	for _, tp := range res.Probabilities {
+		if tp.Probability < 0 || tp.Probability > 1 {
+			t.Fatalf("tuple %d: probability %v outside [0,1]", tp.Tuple, tp.Probability)
+		}
+		if want[tp.Tuple] {
+			if tp.Probability == 0 {
+				t.Errorf("true skyline tuple %d got probability 0", tp.Tuple)
+			}
+			skySum += tp.Probability
+			skyN++
+		} else {
+			nonSum += tp.Probability
+			nonN++
+		}
+	}
+	if skyN == 0 || nonN == 0 {
+		t.Skip("degenerate dataset")
+	}
+	if skySum/skyN <= nonSum/nonN {
+		t.Errorf("probabilities uninformative: skyline mean %.3f <= non-skyline mean %.3f",
+			skySum/skyN, nonSum/nonN)
+	}
+}
+
+// TestPartialMissingValues: tuples with stored crowd values (Example 1's
+// partial-missing scenario) contribute their relations for free — the
+// skyline stays exact while the question count drops with the stored
+// fraction, reaching zero when everything is stored.
+func TestPartialMissingValues(t *testing.T) {
+	d := randomDataset(41, 80, 2, 1, dataset.Independent)
+	baseline := CrowdSky(d, perfect(d), AllPruning()).Questions
+	want := skyline.OracleSkyline(d)
+
+	prev := baseline + 1
+	for _, frac := range []float64{0.0, 0.5, 1.0} {
+		mask := make([][]bool, d.N())
+		for i := range mask {
+			mask[i] = []bool{float64(i) < frac*float64(d.N())}
+		}
+		if err := d.SetCrowdKnown(mask); err != nil {
+			t.Fatal(err)
+		}
+		res := CrowdSky(d, perfect(d), AllPruning())
+		if !metrics.SameSet(res.Skyline, want) {
+			t.Errorf("frac %.1f: skyline mismatch", frac)
+		}
+		if res.Questions > prev {
+			t.Errorf("frac %.1f: questions rose to %d (prev %d)", frac, res.Questions, prev)
+		}
+		prev = res.Questions
+		if frac == 0 && res.Questions != baseline {
+			t.Errorf("empty mask changed the run: %d vs %d", res.Questions, baseline)
+		}
+		if frac == 1 && res.Questions != 0 {
+			t.Errorf("fully stored values still asked %d questions", res.Questions)
+		}
+	}
+	// Reset the shared dataset mask for other tests (randomDataset caches
+	// nothing, but be tidy).
+	_ = d.SetCrowdKnown(make([][]bool, 0))
+}
+
+// TestPartialMissingDirectVariants: the DSet/P1-only variants (no
+// preference tree) also exploit stored values through direct answers.
+func TestPartialMissingDirectVariants(t *testing.T) {
+	d := randomDataset(43, 60, 2, 1, dataset.Independent)
+	mask := make([][]bool, d.N())
+	for i := range mask {
+		mask[i] = []bool{i%2 == 0}
+	}
+	if err := d.SetCrowdKnown(mask); err != nil {
+		t.Fatal(err)
+	}
+	want := skyline.OracleSkyline(d)
+	for name, opts := range map[string]Options{
+		"DSet": {},
+		"P1":   {P1: true},
+	} {
+		res := CrowdSky(d, perfect(d), opts)
+		if !metrics.SameSet(res.Skyline, want) {
+			t.Errorf("%s: skyline mismatch with stored values", name)
+		}
+	}
+}

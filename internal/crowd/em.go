@@ -1,0 +1,102 @@
+package crowd
+
+// EM-style worker reliability estimation over a batch of redundant votes,
+// in the spirit of CDAS [11] and the Dawid–Skene family: alternate between
+// (E) re-deciding every question by reliability-weighted voting and
+// (M) re-estimating every worker's reliability as the agreement rate with
+// those decisions. Majority agreement (package Quality) is the one-shot
+// special case; the iteration sharpens estimates when spam is heavy enough
+// to contaminate plain majorities.
+
+// Vote is a single worker judgment on an identified question.
+type Vote struct {
+	Question Question
+	Worker   int
+	Pref     Preference
+}
+
+// EMResult carries the converged estimates.
+type EMResult struct {
+	// Answers maps each question to its reliability-weighted decision.
+	Answers map[Question]Preference
+	// Reliability maps each worker to the estimated correctness
+	// probability (Laplace-smoothed agreement with the final decisions).
+	Reliability map[int]float64
+	// Iterations actually run (≤ the configured maximum).
+	Iterations int
+}
+
+// EstimateReliability runs the EM iteration on a batch of votes. maxIter
+// bounds the alternation (5 is plenty in practice; the fixpoint is usually
+// reached in 2–3). An empty vote set yields empty maps.
+func EstimateReliability(votes []Vote, maxIter int) *EMResult {
+	if maxIter <= 0 {
+		maxIter = 5
+	}
+	byQuestion := make(map[Question][]Vote)
+	workers := make(map[int]bool)
+	for _, v := range votes {
+		byQuestion[v.Question] = append(byQuestion[v.Question], v)
+		workers[v.Worker] = true
+	}
+	// Initialize with uniform reliability (plain majority voting).
+	rel := make(map[int]float64, len(workers))
+	for w := range workers {
+		rel[w] = 0.7
+	}
+	res := &EMResult{Reliability: rel}
+	for iter := 1; iter <= maxIter; iter++ {
+		res.Iterations = iter
+		// E-step: weighted decision per question. A worker's vote counts
+		// with weight proportional to how far above chance (1/3 for a
+		// ternary question) their reliability sits.
+		answers := make(map[Question]Preference, len(byQuestion))
+		for q, vs := range byQuestion {
+			var score [3]float64
+			for _, v := range vs {
+				w := rel[v.Worker] - 1.0/3.0
+				if w < 0.01 {
+					w = 0.01 // never let a vote count negatively
+				}
+				score[v.Pref] += w
+			}
+			var best Preference
+			switch {
+			case score[First] > score[Second] && score[First] > score[Equal]:
+				best = First
+			case score[Second] > score[First] && score[Second] > score[Equal]:
+				best = Second
+			default:
+				best = Equal // ties break cautiously, as in MajorityVote
+			}
+			answers[q] = best
+		}
+		// M-step: reliability = smoothed agreement with the decisions.
+		agree := make(map[int]int, len(workers))
+		total := make(map[int]int, len(workers))
+		for q, vs := range byQuestion {
+			for _, v := range vs {
+				total[v.Worker]++
+				if v.Pref == answers[q] {
+					agree[v.Worker]++
+				}
+			}
+		}
+		next := make(map[int]float64, len(workers))
+		changed := false
+		for w := range workers {
+			r := float64(agree[w]+1) / float64(total[w]+2)
+			if diff := r - rel[w]; diff > 1e-9 || diff < -1e-9 {
+				changed = true
+			}
+			next[w] = r
+		}
+		rel = next
+		res.Answers = answers
+		res.Reliability = rel
+		if !changed {
+			break
+		}
+	}
+	return res
+}

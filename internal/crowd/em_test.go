@@ -1,0 +1,120 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLatencyModel(t *testing.T) {
+	m := MovieLatency
+	if m.Estimate(0) != 0 || m.Estimate(-3) != 0 {
+		t.Errorf("degenerate rounds mis-estimated")
+	}
+	if m.Estimate(2) != 2*(m.WorkTime+m.Pickup) {
+		t.Errorf("estimate = %v", m.Estimate(2))
+	}
+	var s Stats
+	s.record([]Request{{Workers: 1}})
+	s.record([]Request{{Workers: 1}})
+	if m.EstimateStats(&s) != m.Estimate(2) {
+		t.Errorf("EstimateStats mismatch")
+	}
+	// The paper's ordering of task difficulty: Q1 < Q2 < Q3 per-HIT time.
+	if !(RectangleLatency.WorkTime < MovieLatency.WorkTime &&
+		MovieLatency.WorkTime < ExpertLatency.WorkTime) {
+		t.Errorf("per-HIT working times out of order")
+	}
+}
+
+func TestEstimateReliabilityEmpty(t *testing.T) {
+	res := EstimateReliability(nil, 0)
+	if len(res.Answers) != 0 || len(res.Reliability) != 0 {
+		t.Errorf("empty input produced estimates: %+v", res)
+	}
+}
+
+// TestEstimateReliabilitySeparatesSpammers: good workers (90% correct) and
+// spammers (uniform) vote on many questions; EM must rank every good
+// worker above every spammer and answer most questions correctly.
+func TestEstimateReliabilitySeparatesSpammers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const questions = 120
+	good := []int{0, 1, 2}
+	spam := []int{3, 4}
+	var votes []Vote
+	truths := make(map[Question]Preference, questions)
+	prefs := [3]Preference{First, Second, Equal}
+	for qi := 0; qi < questions; qi++ {
+		q := Question{A: qi, B: qi + 1000}
+		truth := prefs[rng.Intn(2)] // First or Second; Equal truths are rare
+		truths[q] = truth
+		worker := Worker{Reliability: 0.9}
+		for _, w := range good {
+			votes = append(votes, Vote{Question: q, Worker: w, Pref: worker.Judge(truth, rng)})
+		}
+		for _, w := range spam {
+			votes = append(votes, Vote{Question: q, Worker: w, Pref: prefs[rng.Intn(3)]})
+		}
+	}
+	res := EstimateReliability(votes, 8)
+	for _, g := range good {
+		for _, s := range spam {
+			if res.Reliability[g] <= res.Reliability[s] {
+				t.Errorf("good worker %d (%.2f) not above spammer %d (%.2f)",
+					g, res.Reliability[g], s, res.Reliability[s])
+			}
+		}
+	}
+	correct := 0
+	for q, truth := range truths {
+		if res.Answers[q] == truth {
+			correct++
+		}
+	}
+	if correct < questions*95/100 {
+		t.Errorf("EM answered %d/%d correctly", correct, questions)
+	}
+	if res.Iterations < 1 || res.Iterations > 8 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+}
+
+// TestEMNoWorseThanMajority: on the same votes, EM's decisions agree with
+// the truth at least as often as plain per-question majorities.
+func TestEMNoWorseThanMajority(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const questions = 150
+	prefs := [3]Preference{First, Second, Equal}
+	var votes []Vote
+	truths := make(map[Question]Preference)
+	for qi := 0; qi < questions; qi++ {
+		q := Question{A: qi, B: qi + 1000}
+		truth := prefs[rng.Intn(2)]
+		truths[q] = truth
+		// 2 good workers vs 3 spammers: plain majority is fragile.
+		for w := 0; w < 2; w++ {
+			votes = append(votes, Vote{Question: q, Worker: w, Pref: Worker{Reliability: 0.95}.Judge(truth, rng)})
+		}
+		for w := 2; w < 5; w++ {
+			votes = append(votes, Vote{Question: q, Worker: w, Pref: prefs[rng.Intn(3)]})
+		}
+	}
+	res := EstimateReliability(votes, 8)
+	// Plain majority per question.
+	byQ := make(map[Question][]Preference)
+	for _, v := range votes {
+		byQ[v.Question] = append(byQ[v.Question], v.Pref)
+	}
+	var emCorrect, majCorrect int
+	for q, truth := range truths {
+		if res.Answers[q] == truth {
+			emCorrect++
+		}
+		if MajorityVote(byQ[q]) == truth {
+			majCorrect++
+		}
+	}
+	if emCorrect < majCorrect {
+		t.Errorf("EM correct %d < majority correct %d", emCorrect, majCorrect)
+	}
+}

@@ -1,0 +1,44 @@
+package crowd
+
+import "time"
+
+// LatencyModel converts round counts into wall-clock estimates, following
+// the paper's latency assumption that every round takes a fixed amount of
+// time (Section 2.1) — the time for a HIT to be picked up and answered.
+// The defaults come from the paper's measured per-HIT working times in the
+// real-life experiments (Section 6.2): Q1 averaged 22s, Q2 49s and Q3
+// 1m33s per HIT; on top of the working time, marketplace pickup adds a
+// fixed overhead per round.
+type LatencyModel struct {
+	// WorkTime is the average time a worker spends answering one HIT.
+	WorkTime time.Duration
+	// Pickup is the marketplace overhead per round: posting, workers
+	// noticing the HIT, and result collection.
+	Pickup time.Duration
+}
+
+// Per-HIT working times the paper measured on AMT (Section 6.2).
+var (
+	// RectangleLatency: "the average working time per HIT was 22 secs"
+	// for Q1 — easy perceptual comparisons.
+	RectangleLatency = LatencyModel{WorkTime: 22 * time.Second, Pickup: 30 * time.Second}
+	// MovieLatency: 49 secs for Q2 — light domain knowledge.
+	MovieLatency = LatencyModel{WorkTime: 49 * time.Second, Pickup: 30 * time.Second}
+	// ExpertLatency: 1 min 33 secs for Q3 — "the most difficult task".
+	ExpertLatency = LatencyModel{WorkTime: 93 * time.Second, Pickup: 30 * time.Second}
+)
+
+// Estimate returns the expected wall-clock time for the given number of
+// rounds: rounds run strictly one after another (each depends on the
+// previous answers), questions within a round run in parallel.
+func (m LatencyModel) Estimate(rounds int) time.Duration {
+	if rounds < 0 {
+		rounds = 0
+	}
+	return time.Duration(rounds) * (m.WorkTime + m.Pickup)
+}
+
+// EstimateStats applies the model to a finished run's accounting.
+func (m LatencyModel) EstimateStats(s *Stats) time.Duration {
+	return m.Estimate(s.Rounds)
+}

@@ -1,0 +1,92 @@
+package crowd
+
+import "sort"
+
+// Quality estimates worker reliability from majority agreement and screens
+// persistently disagreeing workers out of future assignments. It is the
+// query-independent accuracy layer of the systems the paper builds on
+// (CDAS [11], CrowdScreen [18]) and the programmatic counterpart of the
+// AMT "Masters" qualification the paper relied on to filter spam
+// (Section 6.2).
+//
+// After every aggregated answer, each participating worker's vote is
+// compared against the majority outcome; a worker whose agreement rate
+// (Laplace-smoothed) stays below MinAgreement after MinJudgments is
+// blocked from further questions. Majority agreement is a biased but
+// serviceable estimator of true reliability as long as the majority is
+// usually right — the same assumption majority voting itself rests on.
+type Quality struct {
+	// MinJudgments is how many observed votes a worker needs before
+	// screening applies (default 10).
+	MinJudgments int
+	// MinAgreement is the smallest acceptable agreement rate (default
+	// 0.5, which rejects uniform spammers whose expected agreement is
+	// about 1/3 on ternary questions).
+	MinAgreement float64
+
+	agree map[int]int
+	total map[int]int
+}
+
+// NewQuality returns a tracker with the default thresholds.
+func NewQuality() *Quality {
+	return &Quality{MinJudgments: 10, MinAgreement: 0.5}
+}
+
+func (q *Quality) init() {
+	if q.agree == nil {
+		q.agree = make(map[int]int)
+		q.total = make(map[int]int)
+	}
+	if q.MinJudgments <= 0 {
+		q.MinJudgments = 10
+	}
+	if q.MinAgreement <= 0 {
+		q.MinAgreement = 0.5
+	}
+}
+
+// Observe records that the worker voted vote on a question whose
+// aggregated outcome was majority.
+func (q *Quality) Observe(worker int, vote, majority Preference) {
+	q.init()
+	q.total[worker]++
+	if vote == majority {
+		q.agree[worker]++
+	}
+}
+
+// Agreement returns the Laplace-smoothed agreement rate of a worker
+// ((agree+1) / (total+2)); unseen workers get the prior 0.5.
+func (q *Quality) Agreement(worker int) float64 {
+	q.init()
+	return float64(q.agree[worker]+1) / float64(q.total[worker]+2)
+}
+
+// Blocked reports whether the worker has been screened out.
+func (q *Quality) Blocked(worker int) bool {
+	q.init()
+	if q.total[worker] < q.MinJudgments {
+		return false
+	}
+	return q.Agreement(worker) < q.MinAgreement
+}
+
+// BlockedWorkers lists the screened-out workers in ascending id order.
+func (q *Quality) BlockedWorkers() []int {
+	q.init()
+	var out []int
+	for w := range q.total {
+		if q.Blocked(w) {
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Judgments returns how many votes have been observed for a worker.
+func (q *Quality) Judgments(worker int) int {
+	q.init()
+	return q.total[worker]
+}

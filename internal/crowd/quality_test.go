@@ -1,0 +1,93 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdsky/internal/dataset"
+)
+
+func TestQualityTracking(t *testing.T) {
+	q := NewQuality()
+	// Unseen worker: prior agreement 0.5, never blocked.
+	if q.Agreement(1) != 0.5 || q.Blocked(1) {
+		t.Errorf("fresh worker state wrong")
+	}
+	// A worker agreeing 12/12 is trusted.
+	for i := 0; i < 12; i++ {
+		q.Observe(1, First, First)
+	}
+	if q.Blocked(1) || q.Agreement(1) <= 0.9 {
+		t.Errorf("agreeing worker penalized: agreement %.2f", q.Agreement(1))
+	}
+	// A worker disagreeing 12/12 is blocked once past MinJudgments.
+	for i := 0; i < 12; i++ {
+		q.Observe(2, Second, First)
+	}
+	if !q.Blocked(2) {
+		t.Errorf("disagreeing worker not blocked (agreement %.2f)", q.Agreement(2))
+	}
+	if q.Judgments(2) != 12 {
+		t.Errorf("judgments = %d", q.Judgments(2))
+	}
+	blocked := q.BlockedWorkers()
+	if len(blocked) != 1 || blocked[0] != 2 {
+		t.Errorf("blocked = %v", blocked)
+	}
+	// Below MinJudgments nothing is blocked, however bad.
+	q2 := NewQuality()
+	for i := 0; i < 5; i++ {
+		q2.Observe(3, Second, First)
+	}
+	if q2.Blocked(3) {
+		t.Errorf("worker blocked before MinJudgments")
+	}
+}
+
+// TestQualityScreensSpammers: with screening enabled, a half-spam pool's
+// blocked list consists (mostly) of actual spammers, and the aggregated
+// mistake rate drops versus the unscreened pool.
+func TestQualityScreensSpammers(t *testing.T) {
+	d := dataset.MustGenerate(dataset.GenerateConfig{
+		N: 2, KnownDims: 1, CrowdDims: 1, Distribution: dataset.Independent,
+	}, rand.New(rand.NewSource(1)))
+	truth := DatasetTruth{Data: d}
+	q := Question{A: 0, B: 1}
+
+	run := func(withQuality bool, seed int64) (mistakes int, quality *Quality, pool *Pool) {
+		rng := rand.New(rand.NewSource(seed))
+		pool, err := NewPool(PoolConfig{Size: 40, Reliability: 0.95, SpammerFraction: 0.5}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf := NewSimulated(truth, pool, rng)
+		if withQuality {
+			pf.Quality = NewQuality()
+			quality = pf.Quality
+		}
+		for i := 0; i < 500; i++ {
+			pf.Ask([]Request{{Q: q, Workers: 5}})
+		}
+		return pf.Mistakes(), quality, pool
+	}
+
+	plainMistakes, _, _ := run(false, 2)
+	screenedMistakes, quality, pool := run(true, 2)
+	if screenedMistakes >= plainMistakes {
+		t.Errorf("screening did not reduce mistakes: %d vs %d", screenedMistakes, plainMistakes)
+	}
+	// The blocked list should be dominated by true spammers.
+	blocked := quality.BlockedWorkers()
+	if len(blocked) == 0 {
+		t.Fatalf("no workers blocked in a half-spam pool")
+	}
+	spammers := 0
+	for _, id := range blocked {
+		if pool.workers[id].Reliability < 0.5 {
+			spammers++
+		}
+	}
+	if spammers*10 < len(blocked)*8 {
+		t.Errorf("only %d of %d blocked workers are spammers", spammers, len(blocked))
+	}
+}

@@ -1,0 +1,161 @@
+package crowdserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"crowdsky/internal/crowd"
+)
+
+// Client implements crowd.Platform against a crowdserve marketplace: each
+// Ask posts one round and polls until every judgment is in, so the
+// crowd-enabled skyline algorithms run unchanged over HTTP.
+type Client struct {
+	// BaseURL is the marketplace root, e.g. "http://localhost:8800".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// PollInterval between round-status checks; defaults to 250ms.
+	PollInterval time.Duration
+	// Ctx, when non-nil, cancels waiting (a cancelled Ask panics with the
+	// context error, since crowd.Platform has no error channel; callers
+	// that need graceful cancellation should recover at the run boundary).
+	Ctx context.Context
+
+	stats crowd.Stats
+}
+
+// NewClient returns a marketplace client for baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+func (c *Client) pollInterval() time.Duration {
+	if c.PollInterval > 0 {
+		return c.PollInterval
+	}
+	return 250 * time.Millisecond
+}
+
+// Ask implements crowd.Platform.
+func (c *Client) Ask(reqs []crowd.Request) []crowd.Answer {
+	if len(reqs) == 0 {
+		return nil
+	}
+	c.stats.Record(reqs)
+
+	qs := make([]QuestionJSON, len(reqs))
+	for i, r := range reqs {
+		qs[i] = QuestionJSON{A: r.Q.A, B: r.Q.B, Attr: r.Q.Attr, Workers: r.Workers}
+	}
+	roundID, err := c.postRound(qs)
+	if err != nil {
+		panic(fmt.Sprintf("crowdserve: posting round: %v", err))
+	}
+
+	for {
+		done, answers, err := c.getRound(roundID)
+		if err != nil {
+			panic(fmt.Sprintf("crowdserve: polling round %d: %v", roundID, err))
+		}
+		if done {
+			// The server answers in question order; map back onto the
+			// request order (identical by construction).
+			out := make([]crowd.Answer, len(reqs))
+			for i, a := range answers {
+				pref, err := parsePref(a.Pref)
+				if err != nil {
+					panic(fmt.Sprintf("crowdserve: %v", err))
+				}
+				out[i] = crowd.Answer{
+					Q:    crowd.Question{A: a.A, B: a.B, Attr: a.Attr},
+					Pref: pref,
+				}
+			}
+			return out
+		}
+		select {
+		case <-c.ctx().Done():
+			panic(fmt.Sprintf("crowdserve: cancelled while waiting for round %d: %v", roundID, c.ctx().Err()))
+		case <-time.After(c.pollInterval()):
+		}
+	}
+}
+
+// Stats implements crowd.Platform.
+func (c *Client) Stats() *crowd.Stats { return &c.stats }
+
+func (c *Client) postRound(qs []QuestionJSON) (int64, error) {
+	body, err := json.Marshal(map[string]any{"questions": qs})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(c.ctx(), http.MethodPost, c.BaseURL+"/api/rounds", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		return 0, fmt.Errorf("unexpected status %s", resp.Status)
+	}
+	var out struct {
+		RoundID int64 `json:"round_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.RoundID, nil
+}
+
+func (c *Client) getRound(id int64) (bool, []AnswerJSON, error) {
+	req, err := http.NewRequestWithContext(c.ctx(), http.MethodGet,
+		fmt.Sprintf("%s/api/rounds/%d", c.BaseURL, id), nil)
+	if err != nil {
+		return false, nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return false, nil, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return false, nil, fmt.Errorf("unexpected status %s", resp.Status)
+	}
+	var out struct {
+		Done    bool         `json:"done"`
+		Answers []AnswerJSON `json:"answers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return false, nil, err
+	}
+	return out.Done, out.Answers, nil
+}
+
+func drainClose(rc io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, rc)
+	_ = rc.Close()
+}

@@ -1,0 +1,176 @@
+package crowdserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"crowdsky/internal/crowd"
+)
+
+// Marketplace persistence: crowd rounds take minutes to hours, so the
+// daemon must survive restarts without losing collected judgments (the
+// requester-side counterpart is package journal). Snapshot captures the
+// full server state as JSON; Restore rebuilds it. Leases are deliberately
+// not persisted — on restart every in-flight assignment returns to the
+// open queue, which at worst re-asks a question that was answered but not
+// submitted.
+
+// snapshot is the wire form of the server state.
+type snapshot struct {
+	NextRoundID int64           `json:"next_round_id"`
+	NextAssign  int64           `json:"next_assign"`
+	Judgments   int             `json:"judgments"`
+	Rounds      []roundSnapshot `json:"rounds"`
+	Open        []assignSnap    `json:"open"`
+}
+
+type roundSnapshot struct {
+	ID        int64             `json:"id"`
+	Questions []QuestionJSON    `json:"questions"`
+	Votes     [][]string        `json:"votes"`
+	Voters    []map[string]bool `json:"voters"`
+	Needed    []int             `json:"needed"`
+	Remaining int               `json:"remaining"`
+}
+
+type assignSnap struct {
+	ID      int64 `json:"id"`
+	RoundID int64 `json:"round_id"`
+	QIndex  int   `json:"q_index"`
+}
+
+// Snapshot serializes the marketplace state (excluding leases) to w.
+func (s *Server) Snapshot(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapExpiredLocked()
+	snap := snapshot{
+		NextRoundID: s.nextRoundID,
+		NextAssign:  s.nextAssign,
+		Judgments:   s.judgments,
+	}
+	for _, rd := range s.rounds {
+		rs := roundSnapshot{
+			ID:        rd.id,
+			Questions: rd.questions,
+			Voters:    rd.voters,
+			Needed:    rd.needed,
+			Remaining: rd.remaining,
+		}
+		for _, votes := range rd.votes {
+			var out []string
+			for _, v := range votes {
+				out = append(out, v.String())
+			}
+			rs.Votes = append(rs.Votes, out)
+		}
+		snap.Rounds = append(snap.Rounds, rs)
+	}
+	// Open queue plus currently leased assignments (leases are dropped).
+	for _, a := range s.queue {
+		snap.Open = append(snap.Open, assignSnap{ID: a.id, RoundID: a.roundID, QIndex: a.qIndex})
+	}
+	for _, a := range s.leased {
+		if !a.done {
+			snap.Open = append(snap.Open, assignSnap{ID: a.id, RoundID: a.roundID, QIndex: a.qIndex})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(snap)
+}
+
+// Restore replaces the server state with a snapshot produced by Snapshot.
+func (s *Server) Restore(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("crowdserve: decoding snapshot: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextRoundID = snap.NextRoundID
+	s.nextAssign = snap.NextAssign
+	s.judgments = snap.Judgments
+	s.rounds = make(map[int64]*round, len(snap.Rounds))
+	s.queue = nil
+	s.leased = make(map[int64]*assignment)
+	for _, rs := range snap.Rounds {
+		rd := &round{
+			id:        rs.ID,
+			questions: rs.Questions,
+			voters:    rs.Voters,
+			needed:    rs.Needed,
+			remaining: rs.Remaining,
+			votes:     make([][]crowd.Preference, len(rs.Questions)),
+		}
+		if rd.voters == nil {
+			rd.voters = make([]map[string]bool, len(rs.Questions))
+		}
+		for i := range rd.voters {
+			if rd.voters[i] == nil {
+				rd.voters[i] = make(map[string]bool)
+			}
+		}
+		for i, votes := range rs.Votes {
+			if i >= len(rd.votes) {
+				return fmt.Errorf("crowdserve: snapshot round %d has too many vote lists", rs.ID)
+			}
+			for _, v := range votes {
+				pref, err := parsePref(v)
+				if err != nil {
+					return err
+				}
+				rd.votes[i] = append(rd.votes[i], pref)
+			}
+		}
+		s.rounds[rs.ID] = rd
+	}
+	for _, a := range snap.Open {
+		rd, ok := s.rounds[a.RoundID]
+		if !ok || a.QIndex < 0 || a.QIndex >= len(rd.questions) {
+			return fmt.Errorf("crowdserve: snapshot assignment %d references missing round/question", a.ID)
+		}
+		s.queue = append(s.queue, &assignment{
+			id:       a.ID,
+			roundID:  a.RoundID,
+			qIndex:   a.QIndex,
+			question: rd.questions[a.QIndex],
+		})
+	}
+	return nil
+}
+
+// SaveFile writes a snapshot atomically (temp file + rename).
+func (s *Server) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores state from a snapshot file; a missing file is not an
+// error (fresh start).
+func (s *Server) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Restore(f)
+}

@@ -1,0 +1,184 @@
+package crowdserve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotRestoreMidRound: judgments collected before a restart
+// survive it; the open slots are re-served and the round completes with
+// the pre-restart votes counted.
+func TestSnapshotRestoreMidRound(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	resp := postJSON(t, ts.URL+"/api/rounds", map[string]any{
+		"questions": []QuestionJSON{{A: 0, B: 1, Attr: 0, Workers: 3}},
+	})
+	resp.Body.Close()
+
+	// Two of three judgments land before the "crash".
+	for _, worker := range []string{"w1", "w2"} {
+		r, err := http.Get(ts.URL + "/api/work?worker=" + worker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := decode[workItem](t, r)
+		resp := postJSON(t, ts.URL+"/api/answers", map[string]any{
+			"assignment_id": job.AssignmentID, "worker": worker, "pref": "first",
+		})
+		resp.Body.Close()
+	}
+	// A third worker holds a lease at crash time; the lease must not
+	// survive.
+	r, err := http.Get(ts.URL + "/api/work?worker=w3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leased := decode[workItem](t, r)
+
+	var snap bytes.Buffer
+	if err := srv.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": fresh server restored from the snapshot.
+	srv2 := NewServer()
+	if err := srv2.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	// The leased slot is open again; w3's stale lease is void.
+	resp = postJSON(t, ts2.URL+"/api/answers", map[string]any{
+		"assignment_id": leased.AssignmentID, "worker": "w3", "pref": "second",
+	})
+	if resp.StatusCode == http.StatusOK {
+		t.Errorf("stale lease accepted after restore")
+	}
+	resp.Body.Close()
+
+	r, err = http.Get(ts2.URL + "/api/work?worker=w4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("restored server has no open work: %s", r.Status)
+	}
+	job := decode[workItem](t, r)
+	resp = postJSON(t, ts2.URL+"/api/answers", map[string]any{
+		"assignment_id": job.AssignmentID, "worker": "w4", "pref": "first",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("answer after restore rejected: %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	// The round is complete with the two pre-crash votes plus one new one.
+	r, err = http.Get(ts2.URL + "/api/rounds/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := decode[struct {
+		Done    bool         `json:"done"`
+		Answers []AnswerJSON `json:"answers"`
+	}](t, r)
+	if !final.Done || len(final.Answers) != 1 || final.Answers[0].Pref != "first" {
+		t.Errorf("restored round outcome wrong: %+v", final)
+	}
+}
+
+// TestSnapshotDoubleVotePreventionSurvives: a worker who answered before
+// the restart cannot grab another slot of the same question after it.
+func TestSnapshotDoubleVotePreventionSurvives(t *testing.T) {
+	srv, ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/api/rounds", map[string]any{
+		"questions": []QuestionJSON{{A: 0, B: 1, Attr: 0, Workers: 2}},
+	})
+	resp.Body.Close()
+	r, err := http.Get(ts.URL + "/api/work?worker=w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := decode[workItem](t, r)
+	resp = postJSON(t, ts.URL+"/api/answers", map[string]any{
+		"assignment_id": job.AssignmentID, "worker": "w1", "pref": "first",
+	})
+	resp.Body.Close()
+
+	var snap bytes.Buffer
+	if err := srv.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer()
+	if err := srv2.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	r, err = http.Get(ts2.URL + "/api/work?worker=w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusNoContent {
+		t.Errorf("w1 offered a second slot of an answered question after restore: %s", r.Status)
+	}
+	r.Body.Close()
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+
+	srv := NewServer()
+	// Missing file is a fresh start.
+	if err := srv.LoadFile(path); err != nil {
+		t.Fatalf("missing snapshot errored: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp := postJSON(t, ts.URL+"/api/rounds", map[string]any{
+		"questions": []QuestionJSON{{A: 3, B: 4, Attr: 1, Workers: 1}},
+	})
+	resp.Body.Close()
+	if err := srv.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := NewServer()
+	if err := srv2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	r, err := http.Get(ts2.URL + "/api/work?worker=w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("restored queue empty: %s", r.Status)
+	}
+	job := decode[workItem](t, r)
+	if job.A != 3 || job.B != 4 || job.Attr != 1 {
+		t.Errorf("restored question wrong: %+v", job)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	srv := NewServer()
+	if err := srv.Restore(strings.NewReader("not json")); err == nil {
+		t.Errorf("garbage snapshot accepted")
+	}
+	if err := srv.Restore(strings.NewReader(`{"open":[{"id":1,"round_id":9,"q_index":0}]}`)); err == nil {
+		t.Errorf("dangling assignment accepted")
+	}
+	if err := srv.Restore(strings.NewReader(
+		`{"rounds":[{"id":1,"questions":[{"a":0,"b":1}],"votes":[["maybe"]],"needed":[1],"remaining":0}]}`)); err == nil {
+		t.Errorf("unknown preference accepted")
+	}
+}

@@ -1,0 +1,333 @@
+// Package crowdserve is an AMT-style crowdsourcing marketplace over HTTP:
+// a requester posts rounds of pair-wise questions, workers poll for
+// assignments and submit judgments, and the requester collects
+// majority-voted answers once every judgment is in.
+//
+// The paper ran its real-life experiments against Amazon Mechanical Turk;
+// this package is the deployable substitute (see DESIGN.md's substitution
+// table): the Server hosts the marketplace, Client implements
+// crowd.Platform against it so every algorithm in this repository can run
+// unchanged over the network, and SimulateWorkers drives a fleet of
+// simulated workers against any server for end-to-end testing and demos.
+//
+// Wire protocol (JSON over HTTP):
+//
+//	POST /api/rounds            {questions: [{a,b,attr,workers}]} → {round_id}
+//	GET  /api/rounds/{id}       → {done, answers: [{a,b,attr,pref}]}
+//	GET  /api/work?worker=W     → {assignment_id, a, b, attr} or 204
+//	POST /api/answers           {assignment_id, worker, pref}
+//	GET  /api/stats             → {rounds, questions, judgments, open}
+//
+// pref is "first", "second" or "equal". Assignments are leased: a fetched
+// assignment that is not answered within the lease duration is silently
+// requeued for another worker, so stalled workers cannot wedge a round.
+package crowdserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"crowdsky/internal/crowd"
+)
+
+// DefaultLease is how long a worker may hold an assignment before it is
+// requeued.
+const DefaultLease = 2 * time.Minute
+
+// QuestionJSON is the wire form of one pair-wise question.
+type QuestionJSON struct {
+	A       int `json:"a"`
+	B       int `json:"b"`
+	Attr    int `json:"attr"`
+	Workers int `json:"workers"`
+}
+
+// AnswerJSON is the wire form of an aggregated answer.
+type AnswerJSON struct {
+	A    int    `json:"a"`
+	B    int    `json:"b"`
+	Attr int    `json:"attr"`
+	Pref string `json:"pref"`
+}
+
+// prefToString and back.
+func prefString(p crowd.Preference) string { return p.String() }
+
+func parsePref(s string) (crowd.Preference, error) {
+	switch s {
+	case "first":
+		return crowd.First, nil
+	case "second":
+		return crowd.Second, nil
+	case "equal":
+		return crowd.Equal, nil
+	}
+	return 0, fmt.Errorf("crowdserve: unknown preference %q", s)
+}
+
+// assignment is one (question, worker slot) unit of work.
+type assignment struct {
+	id       int64
+	roundID  int64
+	qIndex   int
+	question QuestionJSON
+
+	leasedTo    string
+	leaseExpiry time.Time
+	done        bool
+}
+
+// round is one batch of questions posted by the requester.
+type round struct {
+	id        int64
+	questions []QuestionJSON
+	votes     [][]crowd.Preference // per question
+	voters    []map[string]bool    // per question: workers who already voted
+	needed    []int                // workers per question
+	remaining int                  // unanswered assignments
+}
+
+// Server is the marketplace state plus its HTTP handler.
+type Server struct {
+	mu          sync.Mutex
+	nextRoundID int64
+	nextAssign  int64
+	rounds      map[int64]*round
+	queue       []*assignment // open assignments in FIFO order
+	leased      map[int64]*assignment
+	lease       time.Duration
+	now         func() time.Time
+
+	judgments int
+}
+
+// NewServer creates an empty marketplace with the default lease.
+func NewServer() *Server {
+	return &Server{
+		rounds: make(map[int64]*round),
+		leased: make(map[int64]*assignment),
+		lease:  DefaultLease,
+		now:    time.Now,
+	}
+}
+
+// SetLease overrides the assignment lease duration (tests use short
+// leases).
+func (s *Server) SetLease(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lease = d
+}
+
+// Handler returns the HTTP handler serving the marketplace API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/rounds", s.handlePostRound)
+	mux.HandleFunc("GET /api/rounds/", s.handleGetRound)
+	mux.HandleFunc("GET /api/work", s.handleGetWork)
+	mux.HandleFunc("POST /api/answers", s.handlePostAnswer)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handlePostRound(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Questions []QuestionJSON `json:"questions"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if len(body.Questions) == 0 {
+		writeError(w, http.StatusBadRequest, "round has no questions")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextRoundID++
+	rd := &round{
+		id:        s.nextRoundID,
+		questions: body.Questions,
+		votes:     make([][]crowd.Preference, len(body.Questions)),
+		voters:    make([]map[string]bool, len(body.Questions)),
+		needed:    make([]int, len(body.Questions)),
+	}
+	for i := range rd.voters {
+		rd.voters[i] = make(map[string]bool)
+	}
+	for i, q := range body.Questions {
+		workers := q.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		rd.needed[i] = workers
+		rd.remaining += workers
+		for k := 0; k < workers; k++ {
+			s.nextAssign++
+			s.queue = append(s.queue, &assignment{
+				id:       s.nextAssign,
+				roundID:  rd.id,
+				qIndex:   i,
+				question: q,
+			})
+		}
+	}
+	s.rounds[rd.id] = rd
+	writeJSON(w, http.StatusCreated, map[string]int64{"round_id": rd.id})
+}
+
+func (s *Server) handleGetRound(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/api/rounds/")
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid round id")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rd, ok := s.rounds[id]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown round")
+		return
+	}
+	type resp struct {
+		Done    bool         `json:"done"`
+		Answers []AnswerJSON `json:"answers,omitempty"`
+	}
+	if rd.remaining > 0 {
+		writeJSON(w, http.StatusOK, resp{Done: false})
+		return
+	}
+	out := resp{Done: true}
+	for i, q := range rd.questions {
+		out.Answers = append(out.Answers, AnswerJSON{
+			A: q.A, B: q.B, Attr: q.Attr,
+			Pref: prefString(crowd.MajorityVote(rd.votes[i])),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetWork(w http.ResponseWriter, r *http.Request) {
+	worker := r.URL.Query().Get("worker")
+	if worker == "" {
+		writeError(w, http.StatusBadRequest, "missing worker id")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapExpiredLocked()
+	for i, a := range s.queue {
+		// A worker must not vote twice on one question: skip slots of
+		// questions the worker already holds or already answered.
+		if s.workerHasQuestionLocked(worker, a) {
+			continue
+		}
+		a.leasedTo = worker
+		a.leaseExpiry = s.now().Add(s.lease)
+		s.leased[a.id] = a
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"assignment_id": a.id,
+			"a":             a.question.A,
+			"b":             a.question.B,
+			"attr":          a.question.Attr,
+		})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// workerHasQuestionLocked reports whether the worker currently leases
+// another slot of the same question or has already answered it.
+func (s *Server) workerHasQuestionLocked(worker string, a *assignment) bool {
+	if rd, ok := s.rounds[a.roundID]; ok && rd.voters[a.qIndex][worker] {
+		return true
+	}
+	for _, l := range s.leased {
+		if l.leasedTo == worker && !l.done && l.roundID == a.roundID && l.qIndex == a.qIndex {
+			return true
+		}
+	}
+	return false
+}
+
+// reapExpiredLocked requeues leased assignments whose lease lapsed.
+func (s *Server) reapExpiredLocked() {
+	now := s.now()
+	for id, a := range s.leased {
+		if !a.done && a.leaseExpiry.Before(now) {
+			a.leasedTo = ""
+			delete(s.leased, id)
+			s.queue = append(s.queue, a)
+		}
+	}
+}
+
+func (s *Server) handlePostAnswer(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		AssignmentID int64  `json:"assignment_id"`
+		Worker       string `json:"worker"`
+		Pref         string `json:"pref"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	pref, err := parsePref(body.Pref)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.leased[body.AssignmentID]
+	if !ok || a.done {
+		writeError(w, http.StatusConflict, "assignment not leased (expired or already answered)")
+		return
+	}
+	if a.leasedTo != body.Worker {
+		writeError(w, http.StatusForbidden, "assignment leased to another worker")
+		return
+	}
+	a.done = true
+	delete(s.leased, body.AssignmentID)
+	rd := s.rounds[a.roundID]
+	rd.votes[a.qIndex] = append(rd.votes[a.qIndex], pref)
+	rd.voters[a.qIndex][body.Worker] = true
+	rd.remaining--
+	s.judgments++
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapExpiredLocked()
+	open := len(s.queue) + len(s.leased)
+	questions := 0
+	for _, rd := range s.rounds {
+		questions += len(rd.questions)
+	}
+	writeJSON(w, http.StatusOK, map[string]int{
+		"rounds":    len(s.rounds),
+		"questions": questions,
+		"judgments": s.judgments,
+		"open":      open,
+	})
+}

@@ -1,0 +1,122 @@
+package crowdserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"crowdsky/internal/crowd"
+)
+
+// WorkerConfig configures a simulated worker fleet driven against a
+// marketplace over HTTP.
+type WorkerConfig struct {
+	// Count is the number of concurrent workers.
+	Count int
+	// Truth supplies correct answers; each worker errs independently.
+	Truth crowd.Truth
+	// Reliability is each worker's correctness probability.
+	Reliability float64
+	// PollInterval between work fetches when the queue is empty; defaults
+	// to 50ms.
+	PollInterval time.Duration
+	// Seed drives the fleet's randomness.
+	Seed int64
+}
+
+// SimulateWorkers runs a fleet of simulated workers against the
+// marketplace at baseURL until ctx is cancelled. It returns after all
+// workers have stopped. Errors from individual requests are retried after
+// the poll interval — workers on flaky networks must not wedge.
+func SimulateWorkers(ctx context.Context, baseURL string, cfg WorkerConfig) {
+	poll := cfg.PollInterval
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Count; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
+			worker := crowd.Worker{ID: id, Reliability: cfg.Reliability}
+			name := fmt.Sprintf("sim-%d", id)
+			client := &http.Client{Timeout: 10 * time.Second}
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				job, ok := fetchWork(ctx, client, baseURL, name)
+				if !ok {
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(poll):
+					}
+					continue
+				}
+				truth := cfg.Truth.Answer(crowd.Question{A: job.A, B: job.B, Attr: job.Attr})
+				answer := worker.Judge(truth, rng)
+				submitAnswer(ctx, client, baseURL, name, job.AssignmentID, answer)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+type workItem struct {
+	AssignmentID int64 `json:"assignment_id"`
+	A            int   `json:"a"`
+	B            int   `json:"b"`
+	Attr         int   `json:"attr"`
+}
+
+func fetchWork(ctx context.Context, client *http.Client, baseURL, worker string) (workItem, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		baseURL+"/api/work?worker="+worker, nil)
+	if err != nil {
+		return workItem{}, false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return workItem{}, false
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return workItem{}, false
+	}
+	var job workItem
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return workItem{}, false
+	}
+	return job, true
+}
+
+func submitAnswer(ctx context.Context, client *http.Client, baseURL, worker string, assignment int64, pref crowd.Preference) {
+	body, err := json.Marshal(map[string]any{
+		"assignment_id": assignment,
+		"worker":        worker,
+		"pref":          pref.String(),
+	})
+	if err != nil {
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		baseURL+"/api/answers", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return
+	}
+	drainClose(resp.Body)
+}

@@ -1,0 +1,178 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSVOptions controls how a CSV file maps onto a Dataset.
+//
+// The expected layout is a header row followed by one row per tuple. The
+// NameColumn (if non-empty) supplies tuple names; KnownColumns become AK and
+// CrowdColumns become AC. A column name may be prefixed with "-" to flip it
+// from the internal MIN semantics to MAX semantics ("-box_office" means
+// larger box office is preferred); flipped columns are stored negated.
+type CSVOptions struct {
+	NameColumn   string
+	KnownColumns []string
+	CrowdColumns []string
+}
+
+// ReadCSV parses a dataset from r according to opts.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: csv has no header row")
+	}
+	header := records[0]
+	col := make(map[string]int, len(header))
+	for i, h := range header {
+		col[strings.TrimSpace(h)] = i
+	}
+	type colSpec struct {
+		idx  int
+		flip bool
+		name string
+	}
+	resolve := func(names []string) ([]colSpec, error) {
+		specs := make([]colSpec, 0, len(names))
+		for _, n := range names {
+			flip := strings.HasPrefix(n, "-")
+			base := strings.TrimPrefix(n, "-")
+			idx, ok := col[base]
+			if !ok {
+				return nil, fmt.Errorf("dataset: csv has no column %q", base)
+			}
+			specs = append(specs, colSpec{idx: idx, flip: flip, name: base})
+		}
+		return specs, nil
+	}
+	knownSpecs, err := resolve(opts.KnownColumns)
+	if err != nil {
+		return nil, err
+	}
+	crowdSpecs, err := resolve(opts.CrowdColumns)
+	if err != nil {
+		return nil, err
+	}
+	if len(knownSpecs) == 0 {
+		return nil, fmt.Errorf("dataset: need at least one known column")
+	}
+	nameIdx := -1
+	if opts.NameColumn != "" {
+		idx, ok := col[opts.NameColumn]
+		if !ok {
+			return nil, fmt.Errorf("dataset: csv has no column %q", opts.NameColumn)
+		}
+		nameIdx = idx
+	}
+
+	rows := records[1:]
+	known := make([][]float64, len(rows))
+	latent := make([][]float64, len(rows))
+	var names []string
+	if nameIdx >= 0 {
+		names = make([]string, len(rows))
+	}
+	parse := func(rec []string, specs []colSpec, line int) ([]float64, error) {
+		vals := make([]float64, len(specs))
+		for j, s := range specs {
+			if s.idx >= len(rec) {
+				return nil, fmt.Errorf("dataset: csv line %d: missing column %q", line, s.name)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[s.idx]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv line %d, column %q: %w", line, s.name, err)
+			}
+			if s.flip {
+				v = -v
+			}
+			vals[j] = v
+		}
+		return vals, nil
+	}
+	for i, rec := range rows {
+		line := i + 2 // 1-based, after header
+		if known[i], err = parse(rec, knownSpecs, line); err != nil {
+			return nil, err
+		}
+		if latent[i], err = parse(rec, crowdSpecs, line); err != nil {
+			return nil, err
+		}
+		if nameIdx >= 0 {
+			if nameIdx >= len(rec) {
+				return nil, fmt.Errorf("dataset: csv line %d: missing name column", line)
+			}
+			names[i] = rec[nameIdx]
+		}
+	}
+	d, err := New(known, latent)
+	if err != nil {
+		return nil, err
+	}
+	if names != nil {
+		if err := d.SetNames(names); err != nil {
+			return nil, err
+		}
+	}
+	knownNames := make([]string, len(knownSpecs))
+	for i, s := range knownSpecs {
+		knownNames[i] = s.name
+	}
+	crowdNames := make([]string, len(crowdSpecs))
+	for i, s := range crowdSpecs {
+		crowdNames[i] = s.name
+	}
+	if err := d.SetAttrNames(knownNames, crowdNames); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// WriteCSV writes the dataset to w with a header row. Known columns come
+// first, then crowd (latent) columns, then a trailing "name" column when
+// tuple names are present. Values are written exactly as stored (MIN
+// semantics).
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, d.KnownDims()+d.CrowdDims()+1)
+	for j := 0; j < d.KnownDims(); j++ {
+		header = append(header, d.KnownAttrName(j))
+	}
+	for j := 0; j < d.CrowdDims(); j++ {
+		header = append(header, d.CrowdAttrName(j))
+	}
+	hasNames := d.Names() != nil
+	if hasNames {
+		header = append(header, "name")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing csv header: %w", err)
+	}
+	rec := make([]string, 0, len(header))
+	for i := 0; i < d.N(); i++ {
+		rec = rec[:0]
+		for j := 0; j < d.KnownDims(); j++ {
+			rec = append(rec, strconv.FormatFloat(d.Known(i, j), 'g', -1, 64))
+		}
+		for j := 0; j < d.CrowdDims(); j++ {
+			rec = append(rec, strconv.FormatFloat(d.Latent(i, j), 'g', -1, 64))
+		}
+		if hasNames {
+			rec = append(rec, d.Name(i))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `title,gross,year,rating
+Alpha,100,2001,7.5
+Beta,200,2003,8.1
+Gamma,50,2010,6.0
+`
+
+func TestReadCSV(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{
+		NameColumn:   "title",
+		KnownColumns: []string{"-gross", "-year"},
+		CrowdColumns: []string{"-rating"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 3 || d.KnownDims() != 2 || d.CrowdDims() != 1 {
+		t.Fatalf("shape = %v", d)
+	}
+	// "-gross" flips to MIN semantics by negation.
+	if d.Known(0, 0) != -100 || d.Known(1, 1) != -2003 || d.Latent(2, 0) != -6.0 {
+		t.Errorf("values wrong: %v %v %v", d.Known(0, 0), d.Known(1, 1), d.Latent(2, 0))
+	}
+	if d.Name(1) != "Beta" {
+		t.Errorf("name = %q", d.Name(1))
+	}
+	if d.KnownAttrName(0) != "gross" || d.CrowdAttrName(0) != "rating" {
+		t.Errorf("attr names = %q, %q", d.KnownAttrName(0), d.CrowdAttrName(0))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+		opts CSVOptions
+	}{
+		{"empty", "", CSVOptions{KnownColumns: []string{"x"}}},
+		{"missing known column", sampleCSV, CSVOptions{KnownColumns: []string{"nope"}}},
+		{"missing crowd column", sampleCSV, CSVOptions{KnownColumns: []string{"gross"}, CrowdColumns: []string{"nope"}}},
+		{"missing name column", sampleCSV, CSVOptions{KnownColumns: []string{"gross"}, NameColumn: "nope"}},
+		{"no known columns", sampleCSV, CSVOptions{}},
+		{"non-numeric", "a,b\n1,x\n", CSVOptions{KnownColumns: []string{"b"}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(c.csv), c.opts); err == nil {
+				t.Errorf("no error for %s", c.name)
+			}
+		})
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := Toy()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(bytes.NewReader(buf.Bytes()), CSVOptions{
+		NameColumn:   "name",
+		KnownColumns: []string{"A1", "A2"},
+		CrowdColumns: []string{"A3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != d.N() {
+		t.Fatalf("round trip lost tuples: %d != %d", back.N(), d.N())
+	}
+	for i := 0; i < d.N(); i++ {
+		if back.Known(i, 0) != d.Known(i, 0) || back.Known(i, 1) != d.Known(i, 1) ||
+			back.Latent(i, 0) != d.Latent(i, 0) || back.Name(i) != d.Name(i) {
+			t.Errorf("tuple %d differs after round trip", i)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package dataset
+
+import (
+	"sort"
+	"testing"
+)
+
+// fullSkyline computes the ground-truth skyline over AK ∪ AC from stored
+// values; duplicated here (instead of importing package skyline) to keep
+// the dependency direction dataset ← skyline.
+func fullSkyline(d *Dataset) []string {
+	dominates := func(s, t int) bool {
+		strict := false
+		for j := 0; j < d.KnownDims(); j++ {
+			switch {
+			case d.Known(s, j) > d.Known(t, j):
+				return false
+			case d.Known(s, j) < d.Known(t, j):
+				strict = true
+			}
+		}
+		for j := 0; j < d.CrowdDims(); j++ {
+			switch {
+			case d.Latent(s, j) > d.Latent(t, j):
+				return false
+			case d.Latent(s, j) < d.Latent(t, j):
+				strict = true
+			}
+		}
+		return strict
+	}
+	var names []string
+	for t := 0; t < d.N(); t++ {
+		dominated := false
+		for s := 0; s < d.N() && !dominated; s++ {
+			if s != t && dominates(s, t) {
+				dominated = true
+			}
+		}
+		if !dominated {
+			names = append(names, d.Name(t))
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func knownSkyline(d *Dataset) []string {
+	dominates := func(s, t int) bool {
+		strict := false
+		for j := 0; j < d.KnownDims(); j++ {
+			switch {
+			case d.Known(s, j) > d.Known(t, j):
+				return false
+			case d.Known(s, j) < d.Known(t, j):
+				strict = true
+			}
+		}
+		return strict
+	}
+	var names []string
+	for t := 0; t < d.N(); t++ {
+		dominated := false
+		for s := 0; s < d.N() && !dominated; s++ {
+			if s != t && dominates(s, t) {
+				dominated = true
+			}
+		}
+		if !dominated {
+			names = append(names, d.Name(t))
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRectangles checks the exact Q1 dataset specification of Section 6.2
+// and its chain structure.
+func TestRectangles(t *testing.T) {
+	d := Rectangles()
+	if d.N() != 50 || d.KnownDims() != 2 || d.CrowdDims() != 1 {
+		t.Fatalf("shape = %v", d)
+	}
+	// Widths 30+3i, heights 40+5i, area = product; MIN-encoded.
+	for i := 0; i < 50; i++ {
+		w := 200 - d.Known(i, 0)
+		h := 300 - d.Known(i, 1)
+		if w != float64(30+3*i) || h != float64(40+5*i) {
+			t.Fatalf("rect %d = %vx%v", i, w, h)
+		}
+		area := 60000 - d.Latent(i, 0)
+		if area != w*h {
+			t.Fatalf("rect %d area = %v, want %v", i, area, w*h)
+		}
+	}
+	// Both dimensions grow monotonically, so the skyline is the largest
+	// rectangle only, over AK and over A alike.
+	want := []string{"rect177x285"}
+	if got := knownSkyline(d); !equalStrings(got, want) {
+		t.Errorf("AK skyline = %v, want %v", got, want)
+	}
+	if got := fullSkyline(d); !equalStrings(got, want) {
+		t.Errorf("full skyline = %v, want %v", got, want)
+	}
+}
+
+// TestMoviesSkyline checks the Q2 curation: the ground-truth crowdsourced
+// skyline is exactly the five movies the paper reports, and the AK skyline
+// is {Avatar, The Avengers}.
+func TestMoviesSkyline(t *testing.T) {
+	d := Movies()
+	if d.N() != 50 {
+		t.Fatalf("n = %d, want 50", d.N())
+	}
+	wantAK := []string{"Avatar", "The Avengers"}
+	if got := knownSkyline(d); !equalStrings(got, wantAK) {
+		t.Errorf("AK skyline = %v, want %v", got, wantAK)
+	}
+	want := []string{
+		"Avatar",
+		"Inception",
+		"The Avengers",
+		"The Dark Knight Rises",
+		"The Lord of the Rings: The Fellowship of the Ring",
+	}
+	if got := fullSkyline(d); !equalStrings(got, want) {
+		t.Errorf("full skyline = %v, want %v (Section 6.2, Q2)", got, want)
+	}
+}
+
+// TestMLBSkyline checks the Q3 curation: the ground-truth crowdsourced
+// skyline is exactly the four Cy Young candidates the paper reports.
+func TestMLBSkyline(t *testing.T) {
+	d := MLBPitchers()
+	if d.N() != 40 || d.KnownDims() != 3 {
+		t.Fatalf("shape = %v", d)
+	}
+	want := []string{"Bartolo Colon", "Clayton Kershaw", "Max Scherzer", "Yu Darvish"}
+	if got := knownSkyline(d); !equalStrings(got, want) {
+		t.Errorf("AK skyline = %v, want %v", got, want)
+	}
+	if got := fullSkyline(d); !equalStrings(got, want) {
+		t.Errorf("full skyline = %v, want %v (Section 6.2, Q3)", got, want)
+	}
+}
+
+// TestRealDatasetsDistinct: the curated datasets satisfy the distinct-AK
+// assumption except where the paper's pre-processing handles ties.
+func TestRealDatasetsDistinct(t *testing.T) {
+	for _, d := range []*Dataset{Rectangles(), MLBPitchers(), Movies()} {
+		if !d.DistinctKnown() {
+			t.Errorf("%v has duplicate AK rows", d)
+		}
+	}
+}

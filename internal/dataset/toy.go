@@ -1,0 +1,124 @@
+package dataset
+
+// This file embeds the two worked toy datasets of the paper. They drive the
+// reproduction tests of Tables 1-3 and Examples 2-8.
+//
+// The paper specifies the known-attribute values exactly (Figures 1a and
+// 3a) and specifies the crowd-attribute preferences only as a partial order
+// (the preference trees of Figures 1b, 3b and 4b). We embed latent A3
+// values that realize exactly those partial orders, so a perfect simulated
+// crowd reproduces every answer of the worked examples.
+
+// Toy returns the 12-tuple dataset of Figure 1 with AK = {A1, A2} and
+// AC = {A3}.
+//
+// Figure 1a places the tuples at:
+//
+//	a(2,8) b(1,6) c(4,10) d(5,7) e(4,4) f(5,9)
+//	g(6,5) h(7,7) i(7,2) j(8,9) k(9,3) l(9,1)
+//
+// The plotted coordinates are used directly under MIN semantics: the
+// paper's skyline in AK, {b,e,i,l} (Example 2), is exactly the lower-left
+// staircase of these points, and every dominating set of Table 1 follows
+// from coordinate-wise ≤ with at least one strict <.
+//
+// The latent A3 values realize the preference tree used by the worked
+// examples (f most preferred, then h, e, b, k, i, l, a, c, d, g, j in a
+// partial order; smaller latent value = more preferred). In particular:
+//
+//	f < h < e < b < a     (so f ≺ h ≺ e ≺ b ≺ a in AC)
+//	e < {c, d, g, i}      (e preferred over c, d, g, i)
+//	k < i < l             (k preferred over i, i preferred over l)
+//	f < j                 (f preferred over j)
+//
+// which yields the final crowdsourced skyline {b,e,i,l,k,f,h} of Example 2.
+func Toy() *Dataset {
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+	plotted := [][]float64{
+		{2, 8},  // a
+		{1, 6},  // b
+		{4, 10}, // c
+		{5, 7},  // d
+		{4, 4},  // e
+		{5, 9},  // f
+		{6, 5},  // g
+		{7, 7},  // h
+		{7, 2},  // i
+		{8, 9},  // j
+		{9, 3},  // k
+		{9, 1},  // l
+	}
+	latent := [][]float64{
+		{7},   // a
+		{4},   // b
+		{8},   // c
+		{9},   // d
+		{3},   // e
+		{1},   // f
+		{10},  // g
+		{2},   // h
+		{5},   // i
+		{11},  // j
+		{4.5}, // k
+		{6},   // l
+	}
+	d := MustNew(plotted, latent)
+	if err := d.SetNames(names); err != nil {
+		panic(err)
+	}
+	if err := d.SetAttrNames([]string{"A1", "A2"}, []string{"A3"}); err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ToyAnti returns the 10-tuple anti-correlated dataset of Figure 3 with
+// AK = {A1, A2} and AC = {A3}, used to motivate probing (pruning P3,
+// Section 3.4).
+//
+// Figure 3a places the tuples at:
+//
+//	b(2,5) e(3,4) i(4,2) j(5,1) a(5,10) c(6,9)
+//	f(7,8) d(8,7) g(9,6) h(10,5)
+//
+// The skyline in AK is {b,e,i,j}; each of the remaining six tuples is
+// dominated by all four of them, so without probing 4x6 = 24 questions are
+// needed (Section 3.4). The latent A3 values realize the Figure 3b
+// preference tree — e preferred over b, i and (transitively) j, with i
+// preferred over j — and make every non-skyline tuple in AK preferred over
+// e in AC, so that probing reduces the workload to 3 + 6 = 9 questions.
+func ToyAnti() *Dataset {
+	names := []string{"b", "e", "i", "j", "a", "c", "f", "d", "g", "h"}
+	plotted := [][]float64{
+		{2, 5},  // b
+		{3, 4},  // e
+		{4, 2},  // i
+		{5, 1},  // j
+		{5, 10}, // a
+		{6, 9},  // c
+		{7, 8},  // f
+		{8, 7},  // d
+		{9, 6},  // g
+		{10, 5}, // h
+	}
+	latent := [][]float64{
+		{5},   // b
+		{4},   // e
+		{6},   // i
+		{7},   // j
+		{1},   // a
+		{1.5}, // c
+		{2},   // f
+		{2.5}, // d
+		{3},   // g
+		{3.5}, // h
+	}
+	d := MustNew(plotted, latent)
+	if err := d.SetNames(names); err != nil {
+		panic(err)
+	}
+	if err := d.SetAttrNames([]string{"A1", "A2"}, []string{"A3"}); err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import "testing"
+
+func TestExtRoundRobin(t *testing.T) {
+	cfg := Config{Runs: 2, Seed: 3, Scale: 0.05}
+	fig, err := ExtRoundRobin(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := findSeries(t, fig, "CrowdSky")
+	rr := findSeries(t, fig, "CrowdSky+RoundRobin")
+	// At |AC| = 1 the strategy is a no-op.
+	if plain.Y[0] != rr.Y[0] {
+		t.Errorf("|AC|=1: round-robin changed questions: %.0f vs %.0f", plain.Y[0], rr.Y[0])
+	}
+	// At |AC| = 3 it saves questions.
+	last := len(plain.Y) - 1
+	if rr.Y[last] >= plain.Y[last] {
+		t.Errorf("|AC|=3: round-robin %.0f >= plain %.0f questions", rr.Y[last], plain.Y[last])
+	}
+}
+
+func TestExtBudget(t *testing.T) {
+	cfg := Config{Runs: 2, Seed: 5, Scale: 0.05}
+	fig, err := ExtBudget(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec := findSeries(t, fig, "precision")
+	rec := findSeries(t, fig, "recall")
+	// Recall stays perfect under the optimistic readout with a perfect
+	// crowd; precision reaches 1 at full budget and is weakly below 1
+	// before.
+	for i, r := range rec.Y {
+		if r != 1 {
+			t.Errorf("recall at fraction %.2f = %.3f, want 1", rec.X[i], r)
+		}
+	}
+	last := len(prec.Y) - 1
+	if prec.Y[last] != 1 {
+		t.Errorf("precision at full budget = %.3f, want 1", prec.Y[last])
+	}
+	if prec.Y[0] > prec.Y[last] {
+		t.Errorf("precision fell with budget: %v", prec.Y)
+	}
+}
+
+func TestExtSorters(t *testing.T) {
+	cfg := Config{Runs: 1, Seed: 7, Scale: 0.1}
+	fig, err := ExtSorters(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tq := findSeries(t, fig, "tournament questions")
+	tr := findSeries(t, fig, "tournament rounds")
+	bq := findSeries(t, fig, "bitonic questions")
+	br := findSeries(t, fig, "bitonic rounds")
+	for i := range tq.Y {
+		if bq.Y[i] <= tq.Y[i] {
+			t.Errorf("point %d: bitonic questions %.0f <= tournament %.0f", i, bq.Y[i], tq.Y[i])
+		}
+		if br.Y[i] >= tr.Y[i] {
+			t.Errorf("point %d: bitonic rounds %.0f >= tournament %.0f", i, br.Y[i], tr.Y[i])
+		}
+	}
+}
+
+func TestExtScreening(t *testing.T) {
+	cfg := Config{Runs: 2, Seed: 9, Scale: 0.1}
+	fig, err := ExtScreening(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := findSeries(t, fig, "no screening")
+	screened := findSeries(t, fig, "screening")
+	// At heavy spam, screening must help.
+	last := len(plain.Y) - 1
+	if screened.Y[last] < plain.Y[last] {
+		t.Errorf("screening F1 %.3f below unscreened %.3f at heavy spam",
+			screened.Y[last], plain.Y[last])
+	}
+}

@@ -1,0 +1,51 @@
+package journal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"crowdsky/internal/crowd"
+)
+
+// FuzzRead hardens the journal reader: arbitrary bytes must never panic,
+// and whatever parses must survive a write/read round trip.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Append(1, crowd.Request{Q: crowd.Question{A: 1, B: 2}, Workers: 3}, crowd.First)
+	_ = w.Append(1, crowd.Request{Q: crowd.Question{A: 2, B: 3}}, crowd.Equal)
+	f.Add(buf.String())
+	f.Add(buf.String()[:buf.Len()-10]) // torn tail
+	f.Add("")
+	f.Add("{}\n{}\n")
+	f.Add("not json\n" + buf.String())
+	f.Fuzz(func(t *testing.T, input string) {
+		entries, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Round trip: re-encode and re-read.
+		var out bytes.Buffer
+		w2 := NewWriter(&out)
+		for _, e := range entries {
+			pref, perr := parsePref(e.Pref)
+			if perr != nil {
+				return // unparseable preference; NewPlatform would reject
+			}
+			if err := w2.Append(e.Round, crowd.Request{
+				Q:       crowd.Question{A: e.A, B: e.B, Attr: e.Attr},
+				Workers: e.Workers,
+			}, pref); err != nil {
+				t.Fatal(err)
+			}
+		}
+		back, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back) != len(entries) {
+			t.Fatalf("round trip lost entries: %d vs %d", len(back), len(entries))
+		}
+	})
+}

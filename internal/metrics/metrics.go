@@ -1,0 +1,121 @@
+// Package metrics implements the accuracy and aggregation measures of
+// Section 6: precision and recall over the newly retrieved skyline tuples
+// SKY_A(R) − SKY_AK(R), and multi-run mean/standard-deviation summaries
+// (the paper reports averages over 10 runs).
+package metrics
+
+import "math"
+
+// PrecisionRecall grades a computed skyline against the ground truth.
+// Following Section 6.1, only tuples newly retrieved by crowdsourcing
+// count: members of knownSkyline (SKY_AK(R), correct by construction) are
+// excluded from both sides. When the exclusion empties both sides — as in
+// query Q1, whose skyline over A equals the skyline over AK — the full
+// skylines are compared instead, matching the paper's "same skyline as the
+// ground truth, yielding Precision = 1.0 and Recall = 1.0" reading.
+//
+// Precision is |got ∩ want| / |got| and recall is |got ∩ want| / |want|;
+// an empty denominator yields 1 when the other side is empty too, else 0.
+func PrecisionRecall(got, want, knownSkyline []int) (precision, recall float64) {
+	base := toSet(knownSkyline)
+	g := deltaSet(got, base)
+	w := deltaSet(want, base)
+	if len(g) == 0 && len(w) == 0 {
+		g = toSet(got)
+		w = toSet(want)
+	}
+	hit := 0
+	for t := range g {
+		if w[t] {
+			hit++
+		}
+	}
+	precision = ratio(hit, len(g), len(w))
+	recall = ratio(hit, len(w), len(g))
+	return precision, recall
+}
+
+// F1 combines precision and recall into the balanced F-measure.
+func F1(precision, recall float64) float64 {
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}
+
+func toSet(ids []int) map[int]bool {
+	s := make(map[int]bool, len(ids))
+	for _, t := range ids {
+		s[t] = true
+	}
+	return s
+}
+
+func deltaSet(ids []int, base map[int]bool) map[int]bool {
+	s := make(map[int]bool, len(ids))
+	for _, t := range ids {
+		if !base[t] {
+			s[t] = true
+		}
+	}
+	return s
+}
+
+func ratio(hit, denom, other int) float64 {
+	if denom == 0 {
+		if other == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(hit) / float64(denom)
+}
+
+// Summary aggregates a series of per-run measurements.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+}
+
+// Summarize computes the mean, population standard deviation, minimum and
+// maximum of vals. An empty input yields a zero Summary.
+func Summarize(vals []float64) Summary {
+	if len(vals) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(vals), Min: vals[0], Max: vals[0]}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(vals))
+	varsum := 0.0
+	for _, v := range vals {
+		d := v - s.Mean
+		varsum += d * d
+	}
+	s.Std = math.Sqrt(varsum / float64(len(vals)))
+	return s
+}
+
+// SameSet reports whether two index slices contain exactly the same
+// elements, regardless of order or duplicates.
+func SameSet(a, b []int) bool {
+	as, bs := toSet(a), toSet(b)
+	if len(as) != len(bs) {
+		return false
+	}
+	for t := range as {
+		if !bs[t] {
+			return false
+		}
+	}
+	return true
+}

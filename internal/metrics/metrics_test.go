@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrecisionRecall(t *testing.T) {
+	known := []int{1, 2}
+	cases := []struct {
+		name      string
+		got, want []int
+		p, r      float64
+	}{
+		{"perfect", []int{1, 2, 3, 4}, []int{1, 2, 3, 4}, 1, 1},
+		{"missed one", []int{1, 2, 3}, []int{1, 2, 3, 4}, 1, 0.5},
+		{"extra one", []int{1, 2, 3, 4, 5}, []int{1, 2, 3, 4}, 2.0 / 3.0, 1},
+		{"disjoint", []int{1, 2, 5}, []int{1, 2, 3}, 0, 0},
+		{"known only vs known only (Q1 case)", []int{1, 2}, []int{1, 2}, 1, 1},
+		{"got empty delta", []int{1, 2}, []int{1, 2, 3}, 0, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, r := PrecisionRecall(c.got, c.want, known)
+			if math.Abs(p-c.p) > 1e-12 || math.Abs(r-c.r) > 1e-12 {
+				t.Errorf("P,R = %v,%v want %v,%v", p, r, c.p, c.r)
+			}
+		})
+	}
+}
+
+// TestPrecisionRecallBounds: precision and recall always land in [0,1].
+func TestPrecisionRecallBounds(t *testing.T) {
+	prop := func(got, want, known []int) bool {
+		p, r := PrecisionRecall(got, want, known)
+		return p >= 0 && p <= 1 && r >= 0 && r <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestF1(t *testing.T) {
+	if F1(0, 0) != 0 {
+		t.Errorf("F1(0,0) != 0")
+	}
+	if math.Abs(F1(1, 1)-1) > 1e-12 {
+		t.Errorf("F1(1,1) != 1")
+	}
+	if math.Abs(F1(0.5, 1)-2.0/3.0) > 1e-12 {
+		t.Errorf("F1(0.5,1) = %v", F1(0.5, 1))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Errorf("empty summary N = %d", s.N)
+	}
+	s = Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 || math.Abs(s.Std-2) > 1e-12 || s.Min != 2 || s.Max != 9 || s.N != 8 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestSameSet(t *testing.T) {
+	if !SameSet([]int{1, 2, 3}, []int{3, 2, 1}) {
+		t.Errorf("order should not matter")
+	}
+	if !SameSet([]int{1, 1, 2}, []int{2, 1}) {
+		t.Errorf("duplicates should not matter")
+	}
+	if SameSet([]int{1, 2}, []int{1, 3}) || SameSet([]int{1}, []int{1, 2}) {
+		t.Errorf("different sets reported equal")
+	}
+	if !SameSet(nil, nil) {
+		t.Errorf("empty sets differ")
+	}
+}

@@ -1,0 +1,46 @@
+package prefgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkAddPreferChain grows a worst-case chain (every insertion
+// extends the longest path, maximizing closure propagation).
+func BenchmarkAddPreferChain(b *testing.B) {
+	const n = 2000
+	for i := 0; i < b.N; i++ {
+		g := New(n)
+		for v := 1; v < n; v++ {
+			g.AddPrefer(v-1, v)
+		}
+	}
+}
+
+// BenchmarkAddPreferRandom inserts random edges, the typical CrowdSky
+// answer stream shape.
+func BenchmarkAddPreferRandom(b *testing.B) {
+	const n = 2000
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		g := New(n)
+		for k := 0; k < 3*n; k++ {
+			g.AddPrefer(rng.Intn(n), rng.Intn(n))
+		}
+	}
+}
+
+// BenchmarkKnownQuery measures the reachability lookup the pruning methods
+// hammer.
+func BenchmarkKnownQuery(b *testing.B) {
+	const n = 2000
+	g := New(n)
+	rng := rand.New(rand.NewSource(2))
+	for k := 0; k < 3*n; k++ {
+		g.AddPrefer(rng.Intn(n), rng.Intn(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Known(i%n, (i*31+7)%n)
+	}
+}

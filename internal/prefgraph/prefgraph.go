@@ -1,0 +1,234 @@
+// Package prefgraph implements the preference tree T of Section 3.3: an
+// incrementally maintained partial order over tuples in the crowd
+// attributes, learned one crowd answer at a time.
+//
+// Each tuple is a node. A strict preference s ≺ t inserts an edge s → t;
+// reachability (maintained as a bit-set transitive closure in both
+// directions) answers "is s preferred over t?" including everything
+// inferable by transitivity — the machinery behind pruning P2 (Corollary 2)
+// and P3 (Section 3.4). Ternary "equally preferred" answers merge nodes
+// into equivalence classes via union–find, so a preference recorded for
+// either member holds for both.
+//
+// Crowds make mistakes (Section 5), so an insertion may contradict what is
+// already known (s ≺ t arriving when t ≺ s is recorded or inferable). The
+// graph is first-write-wins: the contradicting answer is dropped and
+// counted, keeping T acyclic, which mirrors the paper's discussion of
+// false-preference propagation.
+package prefgraph
+
+import (
+	"crowdsky/internal/bitset"
+)
+
+// Relation is the known relationship between an ordered pair of nodes.
+type Relation int8
+
+const (
+	// Unknown means no preference between the pair is recorded or
+	// inferable yet; the tuples are indifferent (s ⊥ t).
+	Unknown Relation = iota
+	// Prefer means the first node is strictly preferred over the second.
+	Prefer
+	// Defer means the second node is strictly preferred over the first.
+	Defer
+	// Equal means the two nodes are equally preferred.
+	Equal
+)
+
+// String returns a short human-readable form.
+func (r Relation) String() string {
+	switch r {
+	case Unknown:
+		return "unknown"
+	case Prefer:
+		return "prefer"
+	case Defer:
+		return "defer"
+	case Equal:
+		return "equal"
+	default:
+		return "relation?"
+	}
+}
+
+// Graph is the preference tree T over n nodes. The zero value is unusable;
+// call New.
+type Graph struct {
+	n      int
+	parent []int // union–find parent for equality classes
+	rank   []int
+
+	// reach[r] for a class representative r: bit set of representatives
+	// strictly less preferred than r (descendants). coreach[r]: strictly
+	// more preferred (ancestors). Bits are kept representative-canonical:
+	// after a union the surviving representative's bit is added wherever
+	// the absorbed one's appears; stale bits of absorbed representatives
+	// are never queried because lookups always canonicalize first.
+	reach   []bitset.Set
+	coreach []bitset.Set
+
+	edges          int // accepted strict-preference insertions
+	unions         int // accepted equality insertions
+	contradictions int // dropped answers that conflicted with T
+}
+
+// New creates an empty preference graph over nodes 0..n-1.
+func New(n int) *Graph {
+	g := &Graph{
+		n:       n,
+		parent:  make([]int, n),
+		rank:    make([]int, n),
+		reach:   make([]bitset.Set, n),
+		coreach: make([]bitset.Set, n),
+	}
+	for i := 0; i < n; i++ {
+		g.parent[i] = i
+		g.reach[i] = bitset.New(n)
+		g.coreach[i] = bitset.New(n)
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+func (g *Graph) find(x int) int {
+	for g.parent[x] != x {
+		g.parent[x] = g.parent[g.parent[x]] // path halving
+		x = g.parent[x]
+	}
+	return x
+}
+
+// Known returns the recorded-or-inferable relation between s and t.
+func (g *Graph) Known(s, t int) Relation {
+	rs, rt := g.find(s), g.find(t)
+	switch {
+	case rs == rt:
+		return Equal
+	case g.reach[rs].Has(rt):
+		return Prefer
+	case g.reach[rt].Has(rs):
+		return Defer
+	default:
+		return Unknown
+	}
+}
+
+// Prefers reports whether s is strictly preferred over t (directly or by
+// transitivity).
+func (g *Graph) Prefers(s, t int) bool {
+	rs, rt := g.find(s), g.find(t)
+	return rs != rt && g.reach[rs].Has(rt)
+}
+
+// WeaklyPrefers reports s ⪯ t: s strictly preferred over t, or equal.
+func (g *Graph) WeaklyPrefers(s, t int) bool {
+	rs, rt := g.find(s), g.find(t)
+	return rs == rt || g.reach[rs].Has(rt)
+}
+
+// Comparable reports whether any relation between s and t is known.
+func (g *Graph) Comparable(s, t int) bool { return g.Known(s, t) != Unknown }
+
+// AddPrefer records the crowd answer "s is preferred over t". It returns
+// false when the answer contradicts the current graph (t already preferred
+// over s); the contradiction is counted and the graph is unchanged. Adding
+// an already-known preference is a no-op returning true.
+func (g *Graph) AddPrefer(s, t int) bool {
+	u, v := g.find(s), g.find(t)
+	if u == v || g.reach[v].Has(u) {
+		g.contradictions++
+		return false
+	}
+	if g.reach[u].Has(v) {
+		return true // already known
+	}
+	g.edges++
+	// Descendants of v (plus v) become reachable from u and every ancestor
+	// of u; ancestors of u (plus u) become co-reachable from v and every
+	// descendant of v.
+	down := g.reach[v]
+	up := g.coreach[u]
+
+	apply := func(a int) {
+		r := g.reach[a]
+		if !r.Has(v) {
+			r.Add(v)
+			r.Or(down)
+		}
+	}
+	apply(u)
+	up.ForEach(apply)
+
+	applyUp := func(d int) {
+		c := g.coreach[d]
+		if !c.Has(u) {
+			c.Add(u)
+			c.Or(up)
+		}
+	}
+	applyUp(v)
+	down.ForEach(applyUp)
+	return true
+}
+
+// AddEqual records the crowd answer "s and t are equally preferred",
+// merging their equivalence classes. It returns false (counting a
+// contradiction, graph unchanged) when a strict preference between the two
+// is already known.
+func (g *Graph) AddEqual(s, t int) bool {
+	u, v := g.find(s), g.find(t)
+	if u == v {
+		return true
+	}
+	if g.reach[u].Has(v) || g.reach[v].Has(u) {
+		g.contradictions++
+		return false
+	}
+	g.unions++
+	// Union by rank; r survives, l is absorbed.
+	r, l := u, v
+	if g.rank[r] < g.rank[l] {
+		r, l = l, r
+	}
+	if g.rank[r] == g.rank[l] {
+		g.rank[r]++
+	}
+	g.parent[l] = r
+
+	// The merged class inherits both reach sets in both directions.
+	g.reach[r].Or(g.reach[l])
+	g.coreach[r].Or(g.coreach[l])
+
+	// Canonicalize: wherever the absorbed representative appears as a bit,
+	// the surviving one must appear too, and the neighbors must see the
+	// merged closure. Ancestors of the class gain r's descendants;
+	// descendants gain r's ancestors.
+	g.coreach[r].ForEach(func(a int) {
+		ra := g.reach[a]
+		ra.Add(r)
+		ra.Or(g.reach[r])
+	})
+	g.reach[r].ForEach(func(d int) {
+		cd := g.coreach[d]
+		cd.Add(r)
+		cd.Or(g.coreach[r])
+	})
+	return true
+}
+
+// Edges returns the number of accepted strict-preference insertions.
+func (g *Graph) Edges() int { return g.edges }
+
+// Unions returns the number of accepted equality insertions.
+func (g *Graph) Unions() int { return g.unions }
+
+// Contradictions returns the number of dropped conflicting answers.
+func (g *Graph) Contradictions() int { return g.contradictions }
+
+// PreferredSet returns the bit set of representatives strictly less
+// preferred than s. The result aliases internal storage and must not be
+// modified; bits are representative-canonical.
+func (g *Graph) PreferredSet(s int) bitset.Set { return g.reach[g.find(s)] }

@@ -1,0 +1,251 @@
+package prefgraph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicRelations(t *testing.T) {
+	g := New(4)
+	if g.N() != 4 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.Known(0, 1) != Unknown {
+		t.Errorf("fresh graph knows something")
+	}
+	if !g.AddPrefer(0, 1) {
+		t.Fatalf("AddPrefer rejected")
+	}
+	if g.Known(0, 1) != Prefer || g.Known(1, 0) != Defer {
+		t.Errorf("direct edge not recorded")
+	}
+	if !g.Prefers(0, 1) || g.Prefers(1, 0) {
+		t.Errorf("Prefers wrong")
+	}
+	if !g.WeaklyPrefers(0, 1) || g.WeaklyPrefers(1, 0) {
+		t.Errorf("WeaklyPrefers wrong")
+	}
+	if !g.Comparable(0, 1) || g.Comparable(0, 2) {
+		t.Errorf("Comparable wrong")
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	g := New(5)
+	g.AddPrefer(0, 1)
+	g.AddPrefer(1, 2)
+	g.AddPrefer(2, 3)
+	if !g.Prefers(0, 3) {
+		t.Errorf("transitive chain not inferred")
+	}
+	if g.Prefers(3, 0) || g.Comparable(0, 4) {
+		t.Errorf("phantom relations")
+	}
+	// Adding an already-inferable edge is a no-op success.
+	edges := g.Edges()
+	if !g.AddPrefer(0, 2) {
+		t.Errorf("re-adding inferable edge rejected")
+	}
+	if g.Edges() != edges {
+		t.Errorf("inferable edge counted as new")
+	}
+}
+
+func TestContradictions(t *testing.T) {
+	g := New(3)
+	g.AddPrefer(0, 1)
+	g.AddPrefer(1, 2)
+	if g.AddPrefer(2, 0) {
+		t.Errorf("cycle-closing edge accepted")
+	}
+	if g.Contradictions() != 1 {
+		t.Errorf("contradictions = %d, want 1", g.Contradictions())
+	}
+	// Graph unchanged: 0 still preferred over 2.
+	if !g.Prefers(0, 2) {
+		t.Errorf("contradiction mutated the graph")
+	}
+	if g.AddEqual(0, 2) {
+		t.Errorf("equality over a strict preference accepted")
+	}
+	if g.Contradictions() != 2 {
+		t.Errorf("contradictions = %d, want 2", g.Contradictions())
+	}
+}
+
+func TestEqualityClasses(t *testing.T) {
+	g := New(6)
+	if !g.AddEqual(0, 1) {
+		t.Fatalf("AddEqual rejected")
+	}
+	if g.Known(0, 1) != Equal || g.Known(1, 0) != Equal {
+		t.Errorf("equality not recorded")
+	}
+	if !g.WeaklyPrefers(0, 1) || g.Prefers(0, 1) {
+		t.Errorf("equality semantics wrong")
+	}
+	// Preferences transfer across the class.
+	g.AddPrefer(1, 2)
+	if !g.Prefers(0, 2) {
+		t.Errorf("class member preference not shared")
+	}
+	g.AddPrefer(3, 0)
+	if !g.Prefers(3, 1) {
+		t.Errorf("incoming preference not shared")
+	}
+	// Merging classes with existing relations keeps transitivity.
+	g.AddEqual(4, 5)
+	g.AddPrefer(2, 4)
+	if !g.Prefers(0, 5) || !g.Prefers(3, 5) {
+		t.Errorf("closure across merged classes broken")
+	}
+	if g.Unions() != 2 {
+		t.Errorf("unions = %d, want 2", g.Unions())
+	}
+	// Self-equality is trivially true.
+	if !g.AddEqual(2, 2) {
+		t.Errorf("self equality rejected")
+	}
+}
+
+func TestEqualityMergeClosesOverBothSides(t *testing.T) {
+	g := New(6)
+	g.AddPrefer(0, 1) // 0 > 1
+	g.AddPrefer(2, 3) // 2 > 3
+	g.AddEqual(1, 2)  // merge middle
+	if !g.Prefers(0, 3) {
+		t.Errorf("0 > 1 = 2 > 3 should imply 0 > 3")
+	}
+	if !g.Prefers(0, 2) || !g.Prefers(1, 3) {
+		t.Errorf("class-adjacent preferences missing")
+	}
+}
+
+// TestAgainstBruteForce compares the incremental closure against a
+// Floyd-Warshall-style reference on random edge sequences.
+func TestAgainstBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 12
+		g := New(n)
+		// Reference: rel[i][j] ∈ {0 unknown, 1 prefer}; equality modeled by
+		// a union-find of its own.
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			if parent[x] != x {
+				parent[x] = find(parent[x])
+			}
+			return parent[x]
+		}
+		edges := make(map[[2]int]bool)
+		closure := func() [][]bool {
+			reach := make([][]bool, n)
+			for i := range reach {
+				reach[i] = make([]bool, n)
+			}
+			for e := range edges {
+				reach[find(e[0])][find(e[1])] = true
+			}
+			for k := 0; k < n; k++ {
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						if reach[i][find(k)] && reach[find(k)][j] {
+							reach[i][j] = true
+						}
+					}
+				}
+			}
+			return reach
+		}
+		for step := 0; step < 60; step++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			reach := closure()
+			if rng.Intn(4) == 0 {
+				// Try an equality.
+				ok := g.AddEqual(a, b)
+				wantOK := !reach[find(a)][find(b)] && !reach[find(b)][find(a)]
+				if find(a) == find(b) {
+					wantOK = true
+				}
+				if ok != wantOK {
+					return false
+				}
+				if wantOK && find(a) != find(b) {
+					// Union in the reference; redirect edges to the root.
+					ra, rb := find(a), find(b)
+					parent[rb] = ra
+					var newEdges = make(map[[2]int]bool)
+					for e := range edges {
+						newEdges[[2]int{find(e[0]), find(e[1])}] = true
+					}
+					edges = newEdges
+				}
+			} else {
+				ok := g.AddPrefer(a, b)
+				wantOK := find(a) != find(b) && !reach[find(b)][find(a)]
+				if ok != wantOK {
+					return false
+				}
+				if wantOK {
+					edges[[2]int{find(a), find(b)}] = true
+				}
+			}
+			// Spot-check a few random queries against the reference.
+			reach = closure()
+			for q := 0; q < 8; q++ {
+				x, y := rng.Intn(n), rng.Intn(n)
+				var want Relation
+				switch {
+				case find(x) == find(y):
+					want = Equal
+				case reach[find(x)][find(y)]:
+					want = Prefer
+				case reach[find(y)][find(x)]:
+					want = Defer
+				default:
+					want = Unknown
+				}
+				if g.Known(x, y) != want {
+					t.Logf("seed %d step %d: Known(%d,%d) = %v, want %v", seed, step, x, y, g.Known(x, y), want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreferredSet(t *testing.T) {
+	g := New(5)
+	g.AddPrefer(0, 1)
+	g.AddPrefer(1, 2)
+	g.AddPrefer(3, 4)
+	var got []int
+	g.PreferredSet(0).ForEach(func(i int) { got = append(got, i) })
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("PreferredSet(0) = %v, want [1 2]", got)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	if Unknown.String() != "unknown" || Prefer.String() != "prefer" ||
+		Defer.String() != "defer" || Equal.String() != "equal" {
+		t.Errorf("relation names wrong")
+	}
+	if Relation(9).String() != "relation?" {
+		t.Errorf("out-of-range relation name")
+	}
+}

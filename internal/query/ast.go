@@ -1,0 +1,132 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Direction is the preference direction of a skyline attribute.
+type Direction int
+
+const (
+	// Min prefers smaller values.
+	Min Direction = iota
+	// Max prefers larger values.
+	Max
+)
+
+// String returns "MIN" or "MAX".
+func (d Direction) String() string {
+	if d == Max {
+		return "MAX"
+	}
+	return "MIN"
+}
+
+// CompareOp is a WHERE comparison operator.
+type CompareOp string
+
+// Supported comparison operators.
+const (
+	OpLT CompareOp = "<"
+	OpLE CompareOp = "<="
+	OpGT CompareOp = ">"
+	OpGE CompareOp = ">="
+	OpEQ CompareOp = "="
+	OpNE CompareOp = "!="
+)
+
+// Condition is one WHERE conjunct: <attr> <op> <value>. Values are numbers
+// or strings; string conditions only support = and !=.
+type Condition struct {
+	Attr     string
+	Op       CompareOp
+	Number   float64
+	Str      string
+	IsString bool
+}
+
+// Eval applies the condition to a value.
+func (c Condition) Eval(num float64, str string, isString bool) bool {
+	if c.IsString != isString {
+		return false
+	}
+	if c.IsString {
+		switch c.Op {
+		case OpEQ:
+			return str == c.Str
+		case OpNE:
+			return str != c.Str
+		default:
+			return false
+		}
+	}
+	switch c.Op {
+	case OpLT:
+		return num < c.Number
+	case OpLE:
+		return num <= c.Number
+	case OpGT:
+		return num > c.Number
+	case OpGE:
+		return num >= c.Number
+	case OpEQ:
+		return num == c.Number
+	case OpNE:
+		return num != c.Number
+	default:
+		return false
+	}
+}
+
+// SkylineAttr is one attribute of the SKYLINE OF clause.
+type SkylineAttr struct {
+	Name      string
+	Direction Direction
+}
+
+// Query is a parsed crowd-enabled skyline query.
+type Query struct {
+	Table string
+	// Columns is the SELECT projection; nil means * (every visible
+	// column).
+	Columns []string
+	Where   []Condition
+	Skyline []SkylineAttr
+	// Limit caps the number of returned rows; 0 means no limit.
+	Limit int
+}
+
+// String renders the query back as SQL-ish text (stable formatting, used
+// in logs and tests).
+func (q *Query) String() string {
+	var b strings.Builder
+	if len(q.Columns) == 0 {
+		fmt.Fprintf(&b, "SELECT * FROM %s", q.Table)
+	} else {
+		fmt.Fprintf(&b, "SELECT %s FROM %s", strings.Join(q.Columns, ", "), q.Table)
+	}
+	for i, c := range q.Where {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		if c.IsString {
+			fmt.Fprintf(&b, "%s %s '%s'", c.Attr, c.Op, c.Str)
+		} else {
+			fmt.Fprintf(&b, "%s %s %g", c.Attr, c.Op, c.Number)
+		}
+	}
+	b.WriteString(" SKYLINE OF ")
+	for i, a := range q.Skyline {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", a.Name, a.Direction)
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package query
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Column is one table column. A column is either numeric (every cell
+// parses as a float) or text.
+type Column struct {
+	Name    string
+	Numeric []float64
+	Text    []string
+}
+
+// IsNumeric reports whether the column holds numbers.
+func (c *Column) IsNumeric() bool { return c.Numeric != nil }
+
+// Table is an in-memory relation. Columns whose names start with an
+// underscore are *latent* columns: they hold ground truth for crowd
+// attributes (e.g. "_romantic" backs the crowdsourced "romantic") and are
+// never matched by WHERE or SKYLINE OF directly, nor shown in results —
+// they exist so simulated crowds can answer, mirroring how the paper's
+// synthetic evaluation keeps crowd-attribute values "only used for
+// obtaining the answers of crowds" (Section 6.1).
+type Table struct {
+	Name    string
+	Columns []Column
+	rows    int
+}
+
+// NewTable builds a table and validates column lengths.
+func NewTable(name string, cols []Column) (*Table, error) {
+	t := &Table{Name: name, Columns: cols}
+	for i, c := range cols {
+		n := len(c.Numeric)
+		if !c.IsNumeric() {
+			n = len(c.Text)
+		}
+		if i == 0 {
+			t.rows = n
+		} else if n != t.rows {
+			return nil, fmt.Errorf("query: table %s: column %s has %d rows, want %d", name, c.Name, n, t.rows)
+		}
+	}
+	return t, nil
+}
+
+// Rows returns the number of rows.
+func (t *Table) Rows() int { return t.rows }
+
+// Column returns the named column, or nil. Latent columns are found only
+// when the caller asks for the underscored name explicitly.
+func (t *Table) Column(name string) *Column {
+	for i := range t.Columns {
+		if t.Columns[i].Name == name {
+			return &t.Columns[i]
+		}
+	}
+	return nil
+}
+
+// Catalog resolves table names for the executor.
+type Catalog interface {
+	// Table returns the named table or an error.
+	Table(name string) (*Table, error)
+}
+
+// MemCatalog is an in-memory catalog, convenient for tests and embedding.
+type MemCatalog map[string]*Table
+
+// Table implements Catalog.
+func (m MemCatalog) Table(name string) (*Table, error) {
+	t, ok := m[name]
+	if !ok {
+		return nil, fmt.Errorf("query: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// DirCatalog resolves table <name> to the CSV file <dir>/<name>.csv. The
+// first row is the header; a column is numeric when every cell parses as a
+// float.
+type DirCatalog struct {
+	Dir string
+}
+
+// Table implements Catalog.
+func (dc DirCatalog) Table(name string) (*Table, error) {
+	if strings.ContainsAny(name, `/\.`) {
+		return nil, fmt.Errorf("query: invalid table name %q", name)
+	}
+	path := filepath.Join(dc.Dir, name+".csv")
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("query: table %q: %w", name, err)
+	}
+	defer f.Close()
+	return ReadTable(name, f)
+}
+
+// ReadTable parses a CSV table from r.
+func ReadTable(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("query: reading table %s: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("query: table %s has no header", name)
+	}
+	header := records[0]
+	rows := records[1:]
+	cols := make([]Column, len(header))
+	for j, h := range header {
+		cols[j].Name = strings.TrimSpace(h)
+		numeric := make([]float64, 0, len(rows))
+		isNumeric := true
+		for _, rec := range rows {
+			if j >= len(rec) {
+				return nil, fmt.Errorf("query: table %s: short row", name)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[j]), 64)
+			if err != nil {
+				isNumeric = false
+				break
+			}
+			numeric = append(numeric, v)
+		}
+		if isNumeric && len(rows) > 0 {
+			cols[j].Numeric = numeric
+		} else {
+			text := make([]string, len(rows))
+			for i, rec := range rows {
+				text[i] = rec[j]
+			}
+			cols[j].Text = text
+		}
+	}
+	return NewTable(name, cols)
+}

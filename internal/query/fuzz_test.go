@@ -1,0 +1,65 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the lexer/parser: arbitrary input must never panic,
+// and anything that parses must render (String) into a query that
+// re-parses to the same rendering — the round-trip fixpoint property.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM movie_db WHERE year >= 2010 and year <= 2015 SKYLINE OF box_office MAX, romantic MAX",
+		"select * from t skyline of a",
+		"SELECT * FROM t WHERE x = 'abc' SKYLINE OF a MIN, b MAX LIMIT 5",
+		"SELECT * FROM t WHERE v < -1.5e3 SKYLINE OF a",
+		"SELECT * FROM t SKYLINE OF",
+		"SELECT * FROM t WHERE x != 'q\"uo' SKYLINE OF a",
+		"\x00\x01",
+		strings.Repeat("SELECT ", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering of %q does not re-parse: %q: %v", input, rendered, err)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("render not a fixpoint: %q vs %q", rendered, q2.String())
+		}
+	})
+}
+
+// FuzzReadTable hardens the CSV table reader: arbitrary input must never
+// panic, and a successfully read table must have consistent column
+// lengths.
+func FuzzReadTable(f *testing.F) {
+	f.Add("a,b\n1,2\n3,4\n")
+	f.Add("title,year\nX,\"quo\"\"ted\"\n")
+	f.Add("")
+	f.Add("only header\n")
+	f.Add("a\n\x00\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tbl, err := ReadTable("fuzz", strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, c := range tbl.Columns {
+			n := len(c.Numeric)
+			if !c.IsNumeric() {
+				n = len(c.Text)
+			}
+			if n != tbl.Rows() {
+				t.Fatalf("column %q has %d rows, table says %d", c.Name, n, tbl.Rows())
+			}
+		}
+	})
+}

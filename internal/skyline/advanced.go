@@ -1,0 +1,243 @@
+package skyline
+
+import (
+	"sort"
+
+	"crowdsky/internal/dataset"
+)
+
+// This file implements two further machine skyline algorithms beyond BNL
+// and SFS, both classics of the literature the paper builds on:
+//
+//   - DivideConquer: the median-partitioning algorithm of Börzsönyi et al.
+//     (the paper's reference [2], which also defined the benchmark data).
+//   - SkyTree: pivot-based space partitioning with region-level dominance
+//     and incomparability skipping, following the BSkyTree idea of Lee and
+//     Hwang (the paper's reference [10], the source of the
+//     sharing-incomparability property CrowdSky's Lemma 1 exploits).
+//
+// All skyline algorithms in this package are cross-validated against each
+// other by property tests; CrowdSky's machine part can use any of them.
+
+// DivideConquer computes SKY_AK(R) by recursive median partitioning on the
+// first attribute: solve both halves, then remove tuples of the
+// worse half dominated by skyline tuples of the better half. Returns
+// tuple indices in ascending order.
+func DivideConquer(d *dataset.Dataset) []int {
+	n := d.N()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sky := dcSkyline(d, idx, 0)
+	sort.Ints(sky)
+	return sky
+}
+
+// dcSkyline solves the skyline of the given tuples, recursing on the
+// median of attribute attr (cycling through attributes as recursion
+// deepens to avoid degenerate splits on duplicated values).
+func dcSkyline(d *dataset.Dataset, idx []int, depth int) []int {
+	if len(idx) <= 8 {
+		return bnlOn(d, idx)
+	}
+	attr := depth % d.KnownDims()
+	// Partition around the median value of attr.
+	vals := make([]float64, len(idx))
+	for i, t := range idx {
+		vals[i] = d.Known(t, attr)
+	}
+	sort.Float64s(vals)
+	median := vals[len(vals)/2]
+	var better, worse []int
+	for _, t := range idx {
+		if d.Known(t, attr) < median {
+			better = append(better, t)
+		} else {
+			worse = append(worse, t)
+		}
+	}
+	if len(better) == 0 || len(worse) == 0 {
+		// Degenerate split (many duplicates): fall back to a scan.
+		return bnlOn(d, idx)
+	}
+	skyBetter := dcSkyline(d, better, depth+1)
+	skyWorse := dcSkyline(d, worse, depth+1)
+	// Merge: a worse-half skyline tuple survives only if no better-half
+	// skyline tuple dominates it.
+	merged := append([]int(nil), skyBetter...)
+	for _, t := range skyWorse {
+		dominated := false
+		for _, s := range skyBetter {
+			if DominatesKnown(d, s, t) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			merged = append(merged, t)
+		}
+	}
+	return merged
+}
+
+// bnlOn runs a window scan over an index subset.
+func bnlOn(d *dataset.Dataset, idx []int) []int {
+	var window []int
+	for _, t := range idx {
+		dominated := false
+		keep := window[:0]
+		for _, w := range window {
+			if dominated {
+				keep = append(keep, w)
+				continue
+			}
+			switch {
+			case DominatesKnown(d, w, t):
+				dominated = true
+				keep = append(keep, w)
+			case DominatesKnown(d, t, w):
+				// evicted
+			default:
+				keep = append(keep, w)
+			}
+		}
+		window = keep
+		if !dominated {
+			window = append(window, t)
+		}
+	}
+	return window
+}
+
+// SkyTree computes SKY_AK(R) with pivot-based space partitioning: a pivot
+// tuple splits the data into 2^d lattice regions by the per-attribute
+// comparison bitmask; regions whose mask is a strict superset of another's
+// can only contain dominated-or-incomparable tuples, so whole branch pairs
+// are skipped without any tuple-level test (the sharing-incomparability
+// idea of [10]). Returns tuple indices in ascending order.
+func SkyTree(d *dataset.Dataset) []int {
+	if d.KnownDims() > 16 {
+		// Mask arithmetic below packs one bit per attribute; fall back for
+		// absurd dimensionalities.
+		return SFS(d)
+	}
+	n := d.N()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var sky []int
+	skyTreeRec(d, idx, &sky)
+	sort.Ints(sky)
+	return sky
+}
+
+// skyTreeRec appends the skyline of idx to out.
+func skyTreeRec(d *dataset.Dataset, idx []int, out *[]int) {
+	if len(idx) == 0 {
+		return
+	}
+	if len(idx) <= 16 {
+		*out = append(*out, bnlOn(d, idx)...)
+		return
+	}
+	dk := d.KnownDims()
+	// Pivot: the tuple minimizing the attribute sum (cheap and central,
+	// keeping the lattice balanced).
+	pivot := idx[0]
+	best := attrSum(d, pivot)
+	for _, t := range idx[1:] {
+		if s := attrSum(d, t); s < best {
+			best = s
+			pivot = t
+		}
+	}
+	// Partition by comparison mask against the pivot: bit j set means the
+	// tuple is strictly worse than the pivot on attribute j. Tuples the
+	// pivot dominates are dropped outright; mask 0 then only holds exact
+	// twins of the pivot (the pivot's minimal sum forbids anything
+	// dominating it), which stay in play as incomparable tuples.
+	regions := make(map[int][]int)
+	for _, t := range idx {
+		if t == pivot {
+			continue
+		}
+		if DominatesKnown(d, pivot, t) {
+			continue // the pivot alone settles t
+		}
+		mask := 0
+		for j := 0; j < dk; j++ {
+			if d.Known(t, j) > d.Known(pivot, j) {
+				mask |= 1 << j
+			}
+		}
+		regions[mask] = append(regions[mask], t)
+	}
+	*out = append(*out, pivot)
+
+	// Region-level pruning: tuples in region A can only dominate tuples in
+	// region B if A's mask is a subset of B's (on every attribute where A
+	// is worse than the pivot, B must be too). Solve regions in ascending
+	// popcount order; filter each region's tuples against the local
+	// skylines of its subset regions, then recurse.
+	masks := make([]int, 0, len(regions))
+	for m := range regions {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(a, b int) bool {
+		pa, pb := popcount(masks[a]), popcount(masks[b])
+		if pa != pb {
+			return pa < pb
+		}
+		return masks[a] < masks[b]
+	})
+	localSky := make(map[int][]int, len(masks))
+	for _, m := range masks {
+		candidates := regions[m]
+		// Filter against solved subset regions only (sharing
+		// incomparability: disjoint-mask regions need no tests).
+		var survivors []int
+		for _, t := range candidates {
+			dominated := false
+			for _, m2 := range masks {
+				if m2 == m || m2&m != m2 || popcount(m2) >= popcount(m) {
+					continue
+				}
+				for _, s := range localSky[m2] {
+					if DominatesKnown(d, s, t) {
+						dominated = true
+						break
+					}
+				}
+				if dominated {
+					break
+				}
+			}
+			if !dominated {
+				survivors = append(survivors, t)
+			}
+		}
+		var regionSky []int
+		skyTreeRec(d, survivors, &regionSky)
+		localSky[m] = regionSky
+		*out = append(*out, regionSky...)
+	}
+}
+
+func attrSum(d *dataset.Dataset, t int) float64 {
+	sum := 0.0
+	for j := 0; j < d.KnownDims(); j++ {
+		sum += d.Known(t, j)
+	}
+	return sum
+}
+
+func popcount(v int) int {
+	c := 0
+	for v != 0 {
+		v &= v - 1
+		c++
+	}
+	return c
+}

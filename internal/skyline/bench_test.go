@@ -1,0 +1,73 @@
+package skyline
+
+import (
+	"fmt"
+	"testing"
+
+	"crowdsky/internal/dataset"
+)
+
+// Micro-benchmarks for the machine substrate: algorithm families across
+// distributions and the sharded constructions.
+
+func benchData(b *testing.B, n, dk int, dist dataset.Distribution) *dataset.Dataset {
+	b.Helper()
+	return randData(1, n, dk, 0, dist)
+}
+
+func BenchmarkSkylineAlgorithms(b *testing.B) {
+	algos := []struct {
+		name string
+		run  func(*dataset.Dataset) []int
+	}{
+		{"BNL", BNL},
+		{"SFS", SFS},
+		{"DivideConquer", DivideConquer},
+		{"SkyTree", SkyTree},
+	}
+	for _, dist := range []dataset.Distribution{dataset.Independent, dataset.AntiCorrelated} {
+		d := benchData(b, 2000, 4, dist)
+		for _, a := range algos {
+			b.Run(fmt.Sprintf("%s/%s", a.name, dist), func(b *testing.B) {
+				var size int
+				for i := 0; i < b.N; i++ {
+					size = len(a.run(d))
+				}
+				b.ReportMetric(float64(size), "skyline_size")
+			})
+		}
+	}
+}
+
+func BenchmarkDominatingSets(b *testing.B) {
+	d := benchData(b, 4000, 4, dataset.Independent)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			DominatingSets(d)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			DominatingSetsParallel(d)
+		}
+	})
+}
+
+func BenchmarkLayers(b *testing.B) {
+	d := benchData(b, 1000, 4, dataset.AntiCorrelated)
+	var count int
+	for i := 0; i < b.N; i++ {
+		count = len(Layers(d))
+	}
+	b.ReportMetric(float64(count), "layers")
+}
+
+func BenchmarkFreqCounter(b *testing.B) {
+	d := benchData(b, 2000, 4, dataset.Independent)
+	sets := DominatingSets(d)
+	fc := NewFreqCounter(d, sets)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fc.Freq(i%d.N(), (i*31+7)%d.N())
+	}
+}

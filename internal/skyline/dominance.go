@@ -1,0 +1,94 @@
+// Package skyline is the machine-only skyline substrate: dominance tests
+// over the known attributes, classic skyline algorithms (BNL, SFS), skyline
+// layers (Definition 6), dominating sets (Definition 5), immediate
+// dominators c(t) for the skyline-layer parallelization, co-domination
+// frequencies freq(u,v) (Sections 3.4 and 5), and a ground-truth oracle
+// over the full attribute set A = AK ∪ AC.
+//
+// Everything here runs without crowds; the crowd-enabled algorithms in
+// package core build on these primitives for their machine part, and the
+// experiments use the oracle for accuracy measurement.
+package skyline
+
+import "crowdsky/internal/dataset"
+
+// DominatesKnown reports s ≺AK t (Definition 1 restricted to AK): s is no
+// worse than t on every known attribute and strictly better on at least
+// one. Smaller values are preferred.
+func DominatesKnown(d *dataset.Dataset, s, t int) bool {
+	sr, tr := d.KnownRow(s), d.KnownRow(t)
+	strict := false
+	for j := range sr {
+		switch {
+		case sr[j] > tr[j]:
+			return false
+		case sr[j] < tr[j]:
+			strict = true
+		}
+	}
+	return strict
+}
+
+// EqualKnown reports whether s and t have identical values on every known
+// attribute (the degenerate case of Algorithm 1, lines 1-3).
+func EqualKnown(d *dataset.Dataset, s, t int) bool {
+	sr, tr := d.KnownRow(s), d.KnownRow(t)
+	for j := range sr {
+		if sr[j] != tr[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// IncomparableKnown reports s ≺≻AK t: neither tuple dominates the other on
+// the known attributes and they are not identical.
+func IncomparableKnown(d *dataset.Dataset, s, t int) bool {
+	return !DominatesKnown(d, s, t) && !DominatesKnown(d, t, s) && !EqualKnown(d, s, t)
+}
+
+// dominatesFull reports s ≺A t over all of A = AK ∪ AC using the latent
+// crowd values. Only the oracle may use this.
+func dominatesFull(d *dataset.Dataset, s, t int) bool {
+	strict := false
+	sr, tr := d.KnownRow(s), d.KnownRow(t)
+	for j := range sr {
+		switch {
+		case sr[j] > tr[j]:
+			return false
+		case sr[j] < tr[j]:
+			strict = true
+		}
+	}
+	for j := 0; j < d.CrowdDims(); j++ {
+		sv, tv := d.Latent(s, j), d.Latent(t, j)
+		switch {
+		case sv > tv:
+			return false
+		case sv < tv:
+			strict = true
+		}
+	}
+	return strict
+}
+
+// OracleSkyline computes SKY_A(R) from the latent ground truth: the set of
+// tuples not dominated over the full attribute set. It is the accuracy
+// reference for every experiment (Section 6) and must never be consulted by
+// a crowd-enabled algorithm.
+func OracleSkyline(d *dataset.Dataset) []int {
+	var sky []int
+	n := d.N()
+	for t := 0; t < n; t++ {
+		dominated := false
+		for s := 0; s < n && !dominated; s++ {
+			if s != t && dominatesFull(d, s, t) {
+				dominated = true
+			}
+		}
+		if !dominated {
+			sky = append(sky, t)
+		}
+	}
+	return sky
+}

@@ -1,0 +1,112 @@
+package skyline
+
+import (
+	"runtime"
+	"sync"
+
+	"crowdsky/internal/dataset"
+)
+
+// The machine part of a crowd-enabled query is quadratic in the
+// cardinality (dominating sets, oracle grading), and while it is dwarfed
+// by crowd latency it still takes seconds at n = 10000. The constructions
+// are embarrassingly parallel across target tuples, so the hot ones shard
+// across CPUs; results are deterministic regardless of scheduling because
+// each shard owns disjoint output slots.
+
+// parallelThreshold is the tuple count below which sharding costs more
+// than it saves.
+const parallelThreshold = 2048
+
+// shard runs fn over [0, n) in parallel chunks and waits for completion.
+func shard(n int, fn func(lo, hi int)) {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < parallelThreshold {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// DominatingSetsParallel computes the same result as DominatingSets using
+// all CPUs.
+func DominatingSetsParallel(d *dataset.Dataset) [][]int {
+	n := d.N()
+	sets := make([][]int, n)
+	shard(n, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			for s := 0; s < n; s++ {
+				if s != t && DominatesKnown(d, s, t) {
+					sets[t] = append(sets[t], s)
+				}
+			}
+		}
+	})
+	return sets
+}
+
+// OracleSkylineParallel computes the same result as OracleSkyline using
+// all CPUs.
+func OracleSkylineParallel(d *dataset.Dataset) []int {
+	n := d.N()
+	flags := make([]bool, n)
+	shard(n, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			dominated := false
+			for s := 0; s < n && !dominated; s++ {
+				if s != t && dominatesFull(d, s, t) {
+					dominated = true
+				}
+			}
+			flags[t] = !dominated
+		}
+	})
+	var sky []int
+	for t, in := range flags {
+		if in {
+			sky = append(sky, t)
+		}
+	}
+	return sky
+}
+
+// ImmediateDominatorsParallel computes the same result as
+// ImmediateDominators using all CPUs.
+func ImmediateDominatorsParallel(d *dataset.Dataset, sets [][]int) [][]int {
+	n := d.N()
+	im := make([][]int, n)
+	shard(n, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			ds := sets[t]
+			for _, s := range ds {
+				immediate := true
+				for _, x := range ds {
+					if x != s && DominatesKnown(d, s, x) {
+						immediate = false
+						break
+					}
+				}
+				if immediate {
+					im[t] = append(im[t], s)
+				}
+			}
+		}
+	})
+	return im
+}

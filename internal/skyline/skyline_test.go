@@ -1,0 +1,374 @@
+package skyline
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"crowdsky/internal/dataset"
+)
+
+func randData(seed int64, n, dk, dc int, dist dataset.Distribution) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	return dataset.MustGenerate(dataset.GenerateConfig{N: n, KnownDims: dk, CrowdDims: dc, Distribution: dist}, rng)
+}
+
+func TestDominance(t *testing.T) {
+	d := dataset.MustNew([][]float64{
+		{1, 1}, // 0 dominates everything below
+		{2, 2}, // 1
+		{1, 2}, // 2
+		{2, 1}, // 3
+		{1, 1}, // 4: duplicate of 0
+	}, [][]float64{{0}, {0}, {0}, {0}, {0}})
+	if !DominatesKnown(d, 0, 1) || DominatesKnown(d, 1, 0) {
+		t.Errorf("plain dominance wrong")
+	}
+	if !DominatesKnown(d, 0, 2) || !DominatesKnown(d, 0, 3) {
+		t.Errorf("weak+strict dominance wrong")
+	}
+	if DominatesKnown(d, 2, 3) || DominatesKnown(d, 3, 2) {
+		t.Errorf("incomparable pair reported dominated")
+	}
+	if !IncomparableKnown(d, 2, 3) {
+		t.Errorf("IncomparableKnown wrong")
+	}
+	if DominatesKnown(d, 0, 4) || DominatesKnown(d, 4, 0) {
+		t.Errorf("identical tuples dominate each other")
+	}
+	if !EqualKnown(d, 0, 4) || EqualKnown(d, 0, 1) {
+		t.Errorf("EqualKnown wrong")
+	}
+	if IncomparableKnown(d, 0, 4) {
+		t.Errorf("identical tuples reported incomparable")
+	}
+}
+
+// TestBNLvsSFS: two independent skyline implementations agree on random
+// data (cross-validation property).
+func TestBNLvsSFS(t *testing.T) {
+	prop := func(seed int64, rawN uint8, rawDK, rawDist uint8) bool {
+		n := int(rawN)%100 + 1
+		dk := int(rawDK)%4 + 1
+		dist := dataset.Distribution(int(rawDist) % 3)
+		d := randData(seed, n, dk, 0, dist)
+		a := BNL(d)
+		b := SFS(d)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSkylineDefinition: every skyline member is undominated and every
+// non-member is dominated (the defining property, checked brute-force).
+func TestSkylineDefinition(t *testing.T) {
+	d := randData(3, 80, 3, 0, dataset.AntiCorrelated)
+	sky := KnownSkyline(d)
+	inSky := make(map[int]bool)
+	for _, s := range sky {
+		inSky[s] = true
+	}
+	for t2 := 0; t2 < d.N(); t2++ {
+		dominated := false
+		for s := 0; s < d.N(); s++ {
+			if s != t2 && DominatesKnown(d, s, t2) {
+				dominated = true
+				break
+			}
+		}
+		if inSky[t2] == dominated {
+			t.Errorf("tuple %d: inSkyline=%v dominated=%v", t2, inSky[t2], dominated)
+		}
+	}
+}
+
+// TestLayersPartition: skyline layers partition the dataset; each layer is
+// the skyline of what remains; no tuple in layer i is dominated by a tuple
+// in layer j > i.
+func TestLayersPartition(t *testing.T) {
+	d := randData(5, 60, 2, 0, dataset.Independent)
+	layers := Layers(d)
+	seen := make(map[int]int)
+	total := 0
+	for li, layer := range layers {
+		total += len(layer)
+		for _, t2 := range layer {
+			if prev, dup := seen[t2]; dup {
+				t.Fatalf("tuple %d in layers %d and %d", t2, prev, li)
+			}
+			seen[t2] = li
+		}
+	}
+	if total != d.N() {
+		t.Fatalf("layers cover %d of %d tuples", total, d.N())
+	}
+	for s := 0; s < d.N(); s++ {
+		for t2 := 0; t2 < d.N(); t2++ {
+			if s != t2 && DominatesKnown(d, s, t2) && seen[s] >= seen[t2] {
+				t.Errorf("dominator %d (layer %d) not in earlier layer than %d (layer %d)",
+					s, seen[s], t2, seen[t2])
+			}
+		}
+	}
+}
+
+// TestDominatingSetsDefinition: DS(t) is exactly the set of tuples
+// dominating t, and |DS| is monotone along dominance (Lemma 3).
+func TestDominatingSetsDefinition(t *testing.T) {
+	d := randData(7, 50, 3, 0, dataset.AntiCorrelated)
+	sets := DominatingSets(d)
+	for t2 := 0; t2 < d.N(); t2++ {
+		in := make(map[int]bool)
+		for _, s := range sets[t2] {
+			in[s] = true
+			if !DominatesKnown(d, s, t2) {
+				t.Errorf("DS(%d) contains non-dominator %d", t2, s)
+			}
+		}
+		for s := 0; s < d.N(); s++ {
+			if s != t2 && DominatesKnown(d, s, t2) && !in[s] {
+				t.Errorf("DS(%d) misses dominator %d", t2, s)
+			}
+		}
+		// Lemma 3: s ∈ DS(t) implies |DS(s)| < |DS(t)|.
+		for _, s := range sets[t2] {
+			if len(sets[s]) >= len(sets[t2]) {
+				t.Errorf("|DS(%d)| = %d >= |DS(%d)| = %d despite dominance",
+					s, len(sets[s]), t2, len(sets[t2]))
+			}
+		}
+	}
+}
+
+// TestImmediateDominatorsDefinition: c(t) ⊆ DS(t) with no intermediate
+// dominator, and every DS member is reachable from some immediate
+// dominator through the dominance DAG.
+func TestImmediateDominatorsDefinition(t *testing.T) {
+	d := randData(11, 40, 2, 0, dataset.Independent)
+	sets := DominatingSets(d)
+	imm := ImmediateDominators(d, sets)
+	for t2 := 0; t2 < d.N(); t2++ {
+		inDS := make(map[int]bool)
+		for _, s := range sets[t2] {
+			inDS[s] = true
+		}
+		for _, s := range imm[t2] {
+			if !inDS[s] {
+				t.Errorf("c(%d) contains %d outside DS", t2, s)
+			}
+			for _, x := range sets[t2] {
+				if x != s && DominatesKnown(d, s, x) {
+					t.Errorf("c(%d) member %d has intermediate %d", t2, s, x)
+				}
+			}
+		}
+		// Completeness: every DS member dominates (or is) some immediate
+		// dominator — i.e. the immediate set covers the DS upward.
+		for _, s := range sets[t2] {
+			covered := false
+			for _, c := range imm[t2] {
+				if c == s || DominatesKnown(d, s, c) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Errorf("DS(%d) member %d not covered by c(t)", t2, s)
+			}
+		}
+	}
+}
+
+// TestFreqCounter: freq(u,v) equals the brute-force co-domination count.
+func TestFreqCounter(t *testing.T) {
+	d := randData(13, 40, 2, 0, dataset.AntiCorrelated)
+	sets := DominatingSets(d)
+	fc := NewFreqCounter(d, sets)
+	for u := 0; u < d.N(); u++ {
+		for v := u + 1; v < d.N(); v++ {
+			want := 0
+			for x := 0; x < d.N(); x++ {
+				if x != u && x != v && DominatesKnown(d, u, x) && DominatesKnown(d, v, x) {
+					want++
+				}
+			}
+			if got := fc.Freq(u, v); got != want {
+				t.Fatalf("freq(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+// TestOracleSkylineSubsetsKnown: the full skyline always contains the
+// AK skyline (complete skyline tuples stay skyline, Example 2).
+func TestOracleSkylineSubsetsKnown(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		d := randData(seed, 60, 2, 2, dataset.Independent)
+		known := KnownSkyline(d)
+		full := OracleSkyline(d)
+		inFull := make(map[int]bool)
+		for _, t2 := range full {
+			inFull[t2] = true
+		}
+		for _, t2 := range known {
+			if !inFull[t2] {
+				t.Errorf("seed %d: AK skyline tuple %d missing from full skyline", seed, t2)
+			}
+		}
+	}
+}
+
+func TestSortedOutputs(t *testing.T) {
+	d := randData(17, 70, 3, 0, dataset.AntiCorrelated)
+	for name, sky := range map[string][]int{"BNL": BNL(d), "SFS": SFS(d), "Oracle": OracleSkyline(d)} {
+		if !sort.IntsAreSorted(sky) {
+			t.Errorf("%s output not sorted", name)
+		}
+	}
+}
+
+// TestAdvancedAlgorithmsAgree cross-validates DivideConquer and SkyTree
+// against SFS on random datasets of every distribution, including
+// duplicate-heavy ones.
+func TestAdvancedAlgorithmsAgree(t *testing.T) {
+	prop := func(seed int64, rawN uint8, rawDK, rawDist uint8) bool {
+		n := int(rawN)%150 + 1
+		dk := int(rawDK)%5 + 1
+		dist := dataset.Distribution(int(rawDist) % 3)
+		d := randData(seed, n, dk, 0, dist)
+		want := SFS(d)
+		for name, algo := range map[string]func(*dataset.Dataset) []int{
+			"DivideConquer": DivideConquer,
+			"SkyTree":       SkyTree,
+		} {
+			got := algo(d)
+			if len(got) != len(want) {
+				t.Logf("%s: size %d, want %d (seed %d n %d dk %d %v)", name, len(got), len(want), seed, n, dk, dist)
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Logf("%s: mismatch at %d (seed %d)", name, i, seed)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdvancedAlgorithmsWithDuplicates: exact duplicate rows exercise the
+// degenerate splits of DivideConquer and the twin regions of SkyTree.
+func TestAdvancedAlgorithmsWithDuplicates(t *testing.T) {
+	known := [][]float64{
+		{1, 1}, {1, 1}, {1, 1}, // triple twin, all skyline
+		{2, 0.5}, {2, 0.5}, // twin pair, skyline
+		{3, 3}, {3, 3}, // twin pair, dominated
+		{0.5, 2},
+	}
+	latent := make([][]float64, len(known))
+	for i := range latent {
+		latent[i] = []float64{0}
+	}
+	d := dataset.MustNew(known, latent)
+	want := SFS(d)
+	if len(want) != 6 {
+		t.Fatalf("reference skyline = %v", want)
+	}
+	for name, algo := range map[string]func(*dataset.Dataset) []int{
+		"BNL":           BNL,
+		"DivideConquer": DivideConquer,
+		"SkyTree":       SkyTree,
+	} {
+		got := algo(d)
+		if len(got) != len(want) {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestParallelConstructionsMatchSerial: the CPU-sharded constructions are
+// bit-identical to their serial counterparts (above and below the
+// sharding threshold).
+func TestParallelConstructionsMatchSerial(t *testing.T) {
+	for _, n := range []int{50, 2100} {
+		d := randData(19, n, 3, 1, dataset.AntiCorrelated)
+		serialSets := DominatingSets(d)
+		parSets := DominatingSetsParallel(d)
+		for i := range serialSets {
+			if len(serialSets[i]) != len(parSets[i]) {
+				t.Fatalf("n=%d: DS(%d) sizes differ", n, i)
+			}
+			for j := range serialSets[i] {
+				if serialSets[i][j] != parSets[i][j] {
+					t.Fatalf("n=%d: DS(%d) differs at %d", n, i, j)
+				}
+			}
+		}
+		so := OracleSkyline(d)
+		po := OracleSkylineParallel(d)
+		if len(so) != len(po) {
+			t.Fatalf("n=%d: oracle sizes differ", n)
+		}
+		for i := range so {
+			if so[i] != po[i] {
+				t.Fatalf("n=%d: oracle differs at %d", n, i)
+			}
+		}
+		si := ImmediateDominators(d, serialSets)
+		pi := ImmediateDominatorsParallel(d, serialSets)
+		for i := range si {
+			if len(si[i]) != len(pi[i]) {
+				t.Fatalf("n=%d: c(%d) sizes differ", n, i)
+			}
+		}
+	}
+}
+
+// TestTopKDominating: domination counts are correct, the ordering is
+// descending, and the top-1 of a dominated chain is its head.
+func TestTopKDominating(t *testing.T) {
+	d := dataset.MustNew([][]float64{
+		{1, 1}, // dominates everyone
+		{2, 2},
+		{3, 3},
+		{9, 0.5}, // incomparable with the chain, dominates nobody
+	}, [][]float64{{0}, {0}, {0}, {0}})
+	top := TopKDominating(d, 2)
+	if len(top) != 2 || top[0] != 0 || top[1] != 1 {
+		t.Errorf("top-2 = %v, want [0 1]", top)
+	}
+	if got := TopKDominating(d, 99); len(got) != d.N() {
+		t.Errorf("k > n returned %d tuples", len(got))
+	}
+	if TopKDominating(d, 0) != nil {
+		t.Errorf("k = 0 returned tuples")
+	}
+	// The most-dominating tuple always belongs to the skyline on
+	// distinct-valued data.
+	rd := randData(23, 60, 3, 0, dataset.Independent)
+	top1 := TopKDominating(rd, 1)[0]
+	inSky := false
+	for _, s := range KnownSkyline(rd) {
+		if s == top1 {
+			inSky = true
+		}
+	}
+	if !inSky {
+		t.Errorf("top-1 dominating tuple %d not in the skyline", top1)
+	}
+}

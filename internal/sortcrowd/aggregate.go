@@ -1,0 +1,144 @@
+package sortcrowd
+
+import (
+	"sort"
+
+	"crowdsky/internal/crowd"
+)
+
+// This file implements rank aggregation over noisy pair-wise comparisons,
+// the robustness layer of human-powered sorting (Marcus et al. [14]): when
+// workers err, a single tournament path can demote a good tuple far below
+// its true rank, but scoring every collected comparison — including the
+// redundant ones majority voting already paid for — recovers a much more
+// stable total order.
+
+// Comparison is one observed pair-wise outcome: A versus B with the
+// crowd's (possibly wrong) preference.
+type Comparison struct {
+	A, B int
+	Pref crowd.Preference
+}
+
+// CopelandOrder ranks items by their Copeland score: wins minus losses
+// over all recorded comparisons (ties contribute nothing). The result
+// orders items most-preferred first; items never compared keep score zero
+// and fall back to index order for determinism.
+func CopelandOrder(items []int, comparisons []Comparison) []int {
+	score := make(map[int]int, len(items))
+	for _, c := range comparisons {
+		switch c.Pref {
+		case crowd.First:
+			score[c.A]++
+			score[c.B]--
+		case crowd.Second:
+			score[c.A]--
+			score[c.B]++
+		}
+	}
+	out := append([]int(nil), items...)
+	sort.SliceStable(out, func(x, y int) bool {
+		sx, sy := score[out[x]], score[out[y]]
+		if sx != sy {
+			return sx > sy
+		}
+		return out[x] < out[y]
+	})
+	return out
+}
+
+// BordaOrder ranks items by Borda-style fractional wins: each item's score
+// is its win fraction over the comparisons that involve it, which corrects
+// for unequal comparison counts (a tournament champion plays more matches
+// than a first-round loser).
+func BordaOrder(items []int, comparisons []Comparison) []int {
+	wins := make(map[int]float64, len(items))
+	games := make(map[int]float64, len(items))
+	for _, c := range comparisons {
+		games[c.A]++
+		games[c.B]++
+		switch c.Pref {
+		case crowd.First:
+			wins[c.A]++
+		case crowd.Second:
+			wins[c.B]++
+		case crowd.Equal:
+			wins[c.A] += 0.5
+			wins[c.B] += 0.5
+		}
+	}
+	frac := func(t int) float64 {
+		if games[t] == 0 {
+			return 0.5
+		}
+		return wins[t] / games[t]
+	}
+	out := append([]int(nil), items...)
+	sort.SliceStable(out, func(x, y int) bool {
+		fx, fy := frac(out[x]), frac(out[y])
+		if fx != fy {
+			return fx > fy
+		}
+		return out[x] < out[y]
+	})
+	return out
+}
+
+// RepairOrder improves an order by local moves: adjacent pairs with a
+// recorded comparison contradicting their order are swapped, repeatedly,
+// until a fixpoint or the iteration budget runs out. This is a bounded
+// local Kemeny improvement — each executed swap strictly reduces the
+// number of violated recorded comparisons.
+func RepairOrder(order []int, comparisons []Comparison) []int {
+	prefers := make(map[[2]int]crowd.Preference, 2*len(comparisons))
+	for _, c := range comparisons {
+		prefers[[2]int{c.A, c.B}] = c.Pref
+		prefers[[2]int{c.B, c.A}] = c.Pref.Flip()
+	}
+	out := append([]int(nil), order...)
+	maxPasses := len(out)
+	if maxPasses > 64 {
+		maxPasses = 64
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		swapped := false
+		for i := 1; i < len(out); i++ {
+			if p, ok := prefers[[2]int{out[i-1], out[i]}]; ok && p == crowd.Second {
+				out[i-1], out[i] = out[i], out[i-1]
+				swapped = true
+			}
+		}
+		if !swapped {
+			break
+		}
+	}
+	return out
+}
+
+// Violations counts recorded comparisons contradicted by the order (the
+// Kemeny distance restricted to observed pairs). Lower is better.
+func Violations(order []int, comparisons []Comparison) int {
+	pos := make(map[int]int, len(order))
+	for i, t := range order {
+		pos[t] = i
+	}
+	v := 0
+	for _, c := range comparisons {
+		pa, oka := pos[c.A]
+		pb, okb := pos[c.B]
+		if !oka || !okb {
+			continue
+		}
+		switch c.Pref {
+		case crowd.First:
+			if pa > pb {
+				v++
+			}
+		case crowd.Second:
+			if pb > pa {
+				v++
+			}
+		}
+	}
+	return v
+}

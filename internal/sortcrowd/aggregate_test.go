@@ -1,0 +1,127 @@
+package sortcrowd
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdsky/internal/crowd"
+)
+
+// noisyComparisons generates every pair's comparison with error rate e
+// against the true order "smaller index more preferred".
+func noisyComparisons(n int, e float64, rng *rand.Rand) []Comparison {
+	var out []Comparison
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			pref := crowd.First // a preferred (a < b in true order)
+			if rng.Float64() < e {
+				pref = crowd.Second
+			}
+			out = append(out, Comparison{A: a, B: b, Pref: pref})
+		}
+	}
+	return out
+}
+
+func kendallErrors(order []int) int {
+	// Inversions against the identity permutation.
+	inv := 0
+	for i := range order {
+		for j := i + 1; j < len(order); j++ {
+			if order[i] > order[j] {
+				inv++
+			}
+		}
+	}
+	return inv
+}
+
+func TestCopelandPerfect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	comps := noisyComparisons(10, 0, rng)
+	order := CopelandOrder(items(10), comps)
+	if kendallErrors(order) != 0 {
+		t.Errorf("perfect comparisons misordered: %v", order)
+	}
+}
+
+func TestBordaPerfect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	comps := noisyComparisons(10, 0, rng)
+	order := BordaOrder(items(10), comps)
+	if kendallErrors(order) != 0 {
+		t.Errorf("perfect comparisons misordered: %v", order)
+	}
+}
+
+// TestDenseAggregationBeatsTournamentUnderNoise: with dense noisy
+// comparisons (every pair judged once), Copeland scoring produces far
+// fewer rank inversions than a noisy tournament — redundancy is what rank
+// aggregation converts into robustness. Sparse tournament transcripts, by
+// contrast, do not carry enough signal to re-rank reliably, which is why
+// Baseline quality in Figure 11 tracks the per-comparison budget.
+func TestDenseAggregationBeatsTournamentUnderNoise(t *testing.T) {
+	const n = 32
+	const noise = 0.2
+	var tournamentInv, copelandInv int
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ask := func(pairs [][2]int) []crowd.Preference {
+			out := make([]crowd.Preference, len(pairs))
+			for i, p := range pairs {
+				pref := crowd.First
+				if p[0] > p[1] {
+					pref = crowd.Second
+				}
+				if rng.Float64() < noise {
+					pref = pref.Flip()
+				}
+				out[i] = pref
+			}
+			return out
+		}
+		tournamentInv += kendallErrors(Tournament(items(n), ask))
+		dense := noisyComparisons(n, noise, rng)
+		copelandInv += kendallErrors(RepairOrder(CopelandOrder(items(n), dense), dense))
+	}
+	if copelandInv >= tournamentInv {
+		t.Errorf("dense aggregation inversions %d >= tournament %d", copelandInv, tournamentInv)
+	}
+}
+
+func TestRepairOrderFixesAdjacentViolations(t *testing.T) {
+	comps := []Comparison{
+		{A: 1, B: 0, Pref: crowd.First}, // 1 preferred over 0
+		{A: 2, B: 1, Pref: crowd.First}, // 2 preferred over 1
+		{A: 2, B: 0, Pref: crowd.First}, // 2 preferred over 0
+	}
+	repaired := RepairOrder([]int{0, 1, 2}, comps)
+	if Violations(repaired, comps) != 0 {
+		t.Errorf("repair left violations: %v", repaired)
+	}
+	if repaired[0] != 2 || repaired[2] != 0 {
+		t.Errorf("repaired = %v, want [2 1 0]", repaired)
+	}
+	// Repair never increases violations.
+	rng := rand.New(rand.NewSource(3))
+	noisy := noisyComparisons(20, 0.3, rng)
+	base := BordaOrder(items(20), noisy)
+	if Violations(RepairOrder(base, noisy), noisy) > Violations(base, noisy) {
+		t.Errorf("repair increased violations")
+	}
+}
+
+func TestAggregateNeverComparedItems(t *testing.T) {
+	// Items without comparisons keep a stable fallback order.
+	order := CopelandOrder([]int{3, 1, 2}, nil)
+	if order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("fallback order = %v", order)
+	}
+	order = BordaOrder([]int{3, 1, 2}, nil)
+	if order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("fallback order = %v", order)
+	}
+	if Violations([]int{1, 2}, []Comparison{{A: 9, B: 8, Pref: crowd.First}}) != 0 {
+		t.Errorf("violations counted for absent items")
+	}
+}

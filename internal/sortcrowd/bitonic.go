@@ -1,0 +1,105 @@
+package sortcrowd
+
+// Bitonic sorts items into descending preference (most preferred first)
+// with a bitonic sorting network (Cormen et al. [3], cited by Section 3 as
+// an alternative sorting baseline). All comparators of a network stage are
+// independent, so each stage is exactly one crowd round, giving
+// O(log² m) rounds total — the latency-optimized counterpart to
+// Tournament's O(m log m) rounds. The comparison count is O(m log² m),
+// higher than tournament sort, exposing the paper's latency/cost trade-off.
+//
+// items lists tuple indices to sort; ask is called once per stage. The
+// input slice is not modified.
+func Bitonic(items []int, ask AskRound) []int {
+	m := len(items)
+	if m <= 1 {
+		return append([]int(nil), items...)
+	}
+	p := 1
+	for p < m {
+		p <<= 1
+	}
+	const bye = -1
+	arr := make([]int, p)
+	for i := range arr {
+		if i < m {
+			arr[i] = items[i]
+		} else {
+			arr[i] = bye // byes sort to the end
+		}
+	}
+	answers := make(cache, 2*m)
+
+	// runStage executes one network stage: comparators[i] = {lo, hi} means
+	// the more preferred element goes to index lo. Bye handling and the
+	// answer cache keep crowd traffic minimal; all remaining comparisons
+	// are one parallel round.
+	runStage := func(comparators [][2]int) {
+		type job struct {
+			lo, hi int
+		}
+		var jobs []job
+		var pairs [][2]int
+		for _, c := range comparators {
+			lo, hi := c[0], c[1]
+			a, b := arr[lo], arr[hi]
+			switch {
+			case a == bye && b == bye:
+				// nothing
+			case b == bye:
+				// already in place
+			case a == bye:
+				arr[lo], arr[hi] = b, a
+			default:
+				if pref, ok := answers.get(a, b); ok {
+					if !prefers(pref) {
+						arr[lo], arr[hi] = b, a
+					}
+				} else {
+					jobs = append(jobs, job{lo, hi})
+					pairs = append(pairs, [2]int{a, b})
+				}
+			}
+		}
+		if len(pairs) == 0 {
+			return
+		}
+		prefs := ask(pairs)
+		for i, j := range jobs {
+			answers.put(pairs[i][0], pairs[i][1], prefs[i])
+			if !prefers(prefs[i]) {
+				arr[j.lo], arr[j.hi] = arr[j.hi], arr[j.lo]
+			}
+		}
+	}
+
+	// Standard bitonic network over p elements: for each block size k, for
+	// each sub-stage j, compare elements whose indices differ in bit j,
+	// direction chosen by the block's sort order. We sort "ascending by
+	// preference rank", i.e. most preferred first.
+	for k := 2; k <= p; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			var comparators [][2]int
+			for i := 0; i < p; i++ {
+				l := i ^ j
+				if l <= i {
+					continue
+				}
+				if i&k == 0 {
+					comparators = append(comparators, [2]int{i, l})
+				} else {
+					comparators = append(comparators, [2]int{l, i})
+				}
+			}
+			runStage(comparators)
+		}
+	}
+
+	order := make([]int, 0, m)
+	for _, v := range arr {
+		if v != bye {
+			order = append(order, v)
+		}
+	}
+	return order
+}

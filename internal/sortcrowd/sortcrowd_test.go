@@ -1,0 +1,221 @@
+package sortcrowd
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"crowdsky/internal/crowd"
+)
+
+// valueAsker answers comparisons from a value table (smaller = more
+// preferred) and tracks question/round counts.
+type valueAsker struct {
+	values    []float64
+	questions int
+	rounds    int
+}
+
+func (va *valueAsker) ask(pairs [][2]int) []crowd.Preference {
+	va.rounds++
+	va.questions += len(pairs)
+	out := make([]crowd.Preference, len(pairs))
+	for i, p := range pairs {
+		a, b := va.values[p[0]], va.values[p[1]]
+		switch {
+		case a < b:
+			out[i] = crowd.First
+		case b < a:
+			out[i] = crowd.Second
+		default:
+			out[i] = crowd.Equal
+		}
+	}
+	return out
+}
+
+func items(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func checkSorted(t *testing.T, name string, order []int, values []float64) {
+	t.Helper()
+	for i := 1; i < len(order); i++ {
+		if values[order[i-1]] > values[order[i]] {
+			t.Fatalf("%s: out of order at %d: %v", name, i, order)
+		}
+	}
+}
+
+func TestTournamentSortsCorrectly(t *testing.T) {
+	prop := func(seed int64, rawN uint8) bool {
+		n := int(rawN)%50 + 1
+		rng := rand.New(rand.NewSource(seed))
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.Float64()
+		}
+		va := &valueAsker{values: values}
+		order := Tournament(items(n), va.ask)
+		if len(order) != n {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if values[order[i-1]] > values[order[i]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitonicSortsCorrectly(t *testing.T) {
+	prop := func(seed int64, rawN uint8) bool {
+		n := int(rawN)%50 + 1
+		rng := rand.New(rand.NewSource(seed))
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.Float64()
+		}
+		va := &valueAsker{values: values}
+		order := Bitonic(items(n), va.ask)
+		if len(order) != n {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if values[order[i-1]] > values[order[i]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTournamentQuestionBudget(t *testing.T) {
+	// Worst-case comparisons: (n−1) + (n−1)·⌈log₂ n⌉.
+	for _, n := range []int{2, 7, 16, 33, 50} {
+		values := make([]float64, n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := range values {
+			values[i] = rng.Float64()
+		}
+		va := &valueAsker{values: values}
+		Tournament(items(n), va.ask)
+		logN := 0
+		for p := 1; p < n; p <<= 1 {
+			logN++
+		}
+		budget := (n - 1) + (n-1)*logN
+		if va.questions > budget {
+			t.Errorf("n=%d: %d questions exceed budget %d", n, va.questions, budget)
+		}
+		if va.questions < n-1 {
+			t.Errorf("n=%d: %d questions below the sorting lower bound n-1", n, va.questions)
+		}
+	}
+}
+
+func TestBitonicRoundBudget(t *testing.T) {
+	// O(log² n) stages.
+	for _, n := range []int{2, 8, 30, 64} {
+		values := make([]float64, n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := range values {
+			values[i] = rng.Float64()
+		}
+		va := &valueAsker{values: values}
+		Bitonic(items(n), va.ask)
+		logN := 0
+		for p := 1; p < n; p <<= 1 {
+			logN++
+		}
+		if logN == 0 {
+			logN = 1
+		}
+		if va.rounds > logN*(logN+1)/2 {
+			t.Errorf("n=%d: %d rounds exceed log² budget %d", n, va.rounds, logN*(logN+1)/2)
+		}
+	}
+}
+
+func TestBitonicFewerRoundsThanTournament(t *testing.T) {
+	n := 64
+	values := make([]float64, n)
+	rng := rand.New(rand.NewSource(9))
+	for i := range values {
+		values[i] = rng.Float64()
+	}
+	va1 := &valueAsker{values: values}
+	Tournament(items(n), va1.ask)
+	va2 := &valueAsker{values: values}
+	Bitonic(items(n), va2.ask)
+	if va2.rounds >= va1.rounds {
+		t.Errorf("bitonic rounds %d >= tournament rounds %d", va2.rounds, va1.rounds)
+	}
+	if va2.questions <= va1.questions {
+		t.Errorf("bitonic questions %d <= tournament questions %d (expected the trade-off)",
+			va2.questions, va1.questions)
+	}
+}
+
+func TestSortersHandleTies(t *testing.T) {
+	values := []float64{0.5, 0.5, 0.1, 0.5, 0.9}
+	for name, f := range map[string]func([]int, AskRound) []int{"tournament": Tournament, "bitonic": Bitonic} {
+		va := &valueAsker{values: values}
+		order := f(items(len(values)), va.ask)
+		checkSorted(t, name, order, values)
+		sorted := append([]int(nil), order...)
+		sort.Ints(sorted)
+		for i, v := range sorted {
+			if v != i {
+				t.Fatalf("%s: order is not a permutation: %v", name, order)
+			}
+		}
+	}
+}
+
+func TestSortersTrivialInputs(t *testing.T) {
+	for name, f := range map[string]func([]int, AskRound) []int{"tournament": Tournament, "bitonic": Bitonic} {
+		va := &valueAsker{values: []float64{1}}
+		if got := f(nil, va.ask); len(got) != 0 {
+			t.Errorf("%s(nil) = %v", name, got)
+		}
+		if got := f([]int{0}, va.ask); len(got) != 1 || got[0] != 0 {
+			t.Errorf("%s singleton = %v", name, got)
+		}
+		if va.questions != 0 {
+			t.Errorf("%s asked %d questions on trivial inputs", name, va.questions)
+		}
+	}
+}
+
+func TestCacheAvoidsRepeatQuestions(t *testing.T) {
+	values := []float64{3, 1, 2, 5, 4, 0}
+	va := &valueAsker{values: values}
+	seen := map[[2]int]bool{}
+	ask := func(pairs [][2]int) []crowd.Preference {
+		for _, p := range pairs {
+			a, b := p[0], p[1]
+			if a > b {
+				a, b = b, a
+			}
+			if seen[[2]int{a, b}] {
+				t.Fatalf("pair %v asked twice", p)
+			}
+			seen[[2]int{a, b}] = true
+		}
+		return va.ask(pairs)
+	}
+	Tournament(items(len(values)), ask)
+}

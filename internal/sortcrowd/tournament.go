@@ -1,0 +1,142 @@
+// Package sortcrowd implements crowd-powered sorting, the substrate of the
+// paper's Baseline method (Section 3): existing sorting algorithms with the
+// pair-wise comparisons replaced by crowd questions. Tournament sort is the
+// baseline used throughout the evaluation ("As one of the sorting
+// algorithms, tournament sort is used as a baseline", Section 6.1); a
+// bitonic sorting network is provided as the latency-oriented alternative
+// the paper also names.
+//
+// Both sorters interact with the crowd through an AskRound callback: one
+// invocation is one round, and all pairs passed to it are asked in
+// parallel. Answers are cached, so a pair is never asked twice.
+package sortcrowd
+
+import "crowdsky/internal/crowd"
+
+// AskRound submits one round of pair-wise comparisons. pairs[i] compares
+// tuple pairs[i][0] against pairs[i][1]; the result slice reports, in
+// order, which element of each pair the crowd prefers.
+type AskRound func(pairs [][2]int) []crowd.Preference
+
+// cache stores answered comparisons symmetrically.
+type cache map[[2]int]crowd.Preference
+
+func (c cache) get(a, b int) (crowd.Preference, bool) {
+	if p, ok := c[[2]int{a, b}]; ok {
+		return p, true
+	}
+	if p, ok := c[[2]int{b, a}]; ok {
+		return p.Flip(), true
+	}
+	return 0, false
+}
+
+func (c cache) put(a, b int, p crowd.Preference) { c[[2]int{a, b}] = p }
+
+// prefers reports whether a should be ordered before b given a cached
+// answer; Equal breaks toward the first argument (stable).
+func prefers(p crowd.Preference) bool { return p == crowd.First || p == crowd.Equal }
+
+// Tournament sorts items into descending preference (most preferred first)
+// with a crowd-powered tournament sort: a selection tree is built level by
+// level (each level one parallel round), then winners are extracted one at
+// a time, each extraction replaying the champion's root path with
+// sequential rounds. The number of comparisons is (m−1) + (m−1)·⌈log₂ m⌉
+// in the worst case, less in practice because byes and cached answers are
+// free.
+//
+// items lists tuple indices to sort; ask is called once per round. The
+// input slice is not modified.
+func Tournament(items []int, ask AskRound) []int {
+	m := len(items)
+	if m <= 1 {
+		return append([]int(nil), items...)
+	}
+	// Size the complete binary tree: p leaves, p = next power of two.
+	p := 1
+	for p < m {
+		p <<= 1
+	}
+	const bye = -1
+	// tree[1] is the root; leaves occupy tree[p..2p-1].
+	tree := make([]int, 2*p)
+	for i := range tree {
+		tree[i] = bye
+	}
+	leafOf := make(map[int]int, m)
+	for i, it := range items {
+		tree[p+i] = it
+		leafOf[it] = p + i
+	}
+	answers := make(cache, 2*m)
+
+	// askAll resolves a round of matches: each match is a tree node whose
+	// winner must be computed from its two children. Matches with a bye or
+	// with a cached answer resolve for free; the rest go to the crowd in
+	// one round.
+	askAll := func(nodes []int) {
+		var pending []int // node indices whose comparison must be asked
+		var pairs [][2]int
+		for _, nd := range nodes {
+			a, b := tree[2*nd], tree[2*nd+1]
+			switch {
+			case a == bye:
+				tree[nd] = b
+			case b == bye:
+				tree[nd] = a
+			default:
+				if pref, ok := answers.get(a, b); ok {
+					if prefers(pref) {
+						tree[nd] = a
+					} else {
+						tree[nd] = b
+					}
+				} else {
+					pending = append(pending, nd)
+					pairs = append(pairs, [2]int{a, b})
+				}
+			}
+		}
+		if len(pairs) == 0 {
+			return
+		}
+		prefs := ask(pairs)
+		for i, nd := range pending {
+			a, b := pairs[i][0], pairs[i][1]
+			answers.put(a, b, prefs[i])
+			if prefers(prefs[i]) {
+				tree[nd] = a
+			} else {
+				tree[nd] = b
+			}
+		}
+	}
+
+	// Build phase: one parallel round per level.
+	for width := p / 2; width >= 1; width /= 2 {
+		nodes := make([]int, 0, width)
+		for nd := width; nd < 2*width; nd++ {
+			nodes = append(nodes, nd)
+		}
+		askAll(nodes)
+	}
+
+	// Extraction phase: pop the champion, turn its leaf into a bye, and
+	// replay its path to the root. Path matches depend on one another
+	// bottom-up, so each level is its own round (usually zero or one
+	// question).
+	order := make([]int, 0, m)
+	for len(order) < m {
+		champ := tree[1]
+		order = append(order, champ)
+		if len(order) == m {
+			break
+		}
+		leaf := leafOf[champ]
+		tree[leaf] = bye
+		for nd := leaf / 2; nd >= 1; nd /= 2 {
+			askAll([]int{nd})
+		}
+	}
+	return order
+}
