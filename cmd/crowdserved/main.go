@@ -12,13 +12,18 @@
 // A crowd-enabled skyline query can then run against the marketplace:
 //
 //	crowdsky -demo movies -server http://localhost:8800
+//
+// Observability: GET /metrics serves Prometheus text (request counters,
+// latency histograms, marketplace gauges) and /debug/pprof/ serves the Go
+// profiler endpoints. See docs/OBSERVABILITY.md.
 package main
 
 import (
 	"context"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,22 +43,31 @@ func main() {
 		lease       = flag.Duration("lease", crowdserve.DefaultLease, "assignment lease duration")
 		seed        = flag.Int64("seed", 1, "simulated worker seed")
 		state       = flag.String("state", "", "snapshot file: state is restored at startup and saved on SIGINT/SIGTERM and periodically")
+		verbose     = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
 
 	srv := crowdserve.NewServer()
 	srv.SetLease(*lease)
 
 	if *state != "" {
 		if err := srv.LoadFile(*state); err != nil {
-			fmt.Fprintf(os.Stderr, "loading state: %v\n", err)
+			logger.Error("loading state", "file", *state, "err", err)
 			os.Exit(1)
 		}
+		logger.Debug("state restored", "file", *state)
 		// Periodic snapshots plus a final one on shutdown signals.
 		go func() {
 			for range time.Tick(10 * time.Second) {
 				if err := srv.SaveFile(*state); err != nil {
-					fmt.Fprintf(os.Stderr, "saving state: %v\n", err)
+					logger.Error("saving state", "file", *state, "err", err)
 				}
 			}
 		}()
@@ -62,7 +76,7 @@ func main() {
 		go func() {
 			<-sigCh
 			if err := srv.SaveFile(*state); err != nil {
-				fmt.Fprintf(os.Stderr, "saving state: %v\n", err)
+				logger.Error("saving state", "file", *state, "err", err)
 			}
 			os.Exit(0)
 		}()
@@ -80,7 +94,7 @@ func main() {
 		case "mlb":
 			d = crowdsky.MLBPitchers()
 		default:
-			fmt.Fprintf(os.Stderr, "unknown -demo %q\n", *demo)
+			logger.Error("unknown -demo", "demo", *demo)
 			os.Exit(2)
 		}
 		baseURL := "http://localhost" + *addr
@@ -97,13 +111,22 @@ func main() {
 				Seed:        *seed,
 			})
 		}()
-		fmt.Fprintf(os.Stderr, "running %d simulated workers (reliability %.2f) against %s dataset\n",
-			*simWorkers, *reliability, *demo)
+		logger.Info("running simulated workers", "count", *simWorkers, "reliability", *reliability, "dataset", *demo)
 	}
 
-	fmt.Fprintf(os.Stderr, "crowdserved listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	// The marketplace handler (including GET /metrics) mounts at the root;
+	// the Go profiler mounts under /debug/pprof/.
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	logger.Info("crowdserved listening", "addr", *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		logger.Error("server exited", "err", err)
 		os.Exit(1)
 	}
 }

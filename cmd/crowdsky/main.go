@@ -25,6 +25,7 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -48,14 +49,23 @@ func main() {
 		seed        = flag.Int64("seed", 1, "simulation seed")
 		server      = flag.String("server", "", "crowdserve marketplace URL (e.g. http://localhost:8800); overrides -interactive/-reliability")
 		journalPath = flag.String("journal", "", "JSONL journal file: answers are logged, and an existing journal resumes the run without re-asking")
+		tracePath   = flag.String("trace", "", "write structured JSONL trace events (rounds, prunings, escalations) to this file")
+		verbose     = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Parse()
+
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
 
 	d, err := loadDataset(*demo, *csvPath, *nameCol, *knownCols, *crowdCols)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	slog.Debug("dataset loaded", "tuples", d.N(), "known", d.KnownDims(), "crowd", d.CrowdDims())
 
 	var pf crowdsky.Platform
 	switch {
@@ -81,6 +91,22 @@ func main() {
 	}
 
 	cfg := crowdsky.RunConfig{}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tracer := crowdsky.NewJSONLTracer(f)
+		cfg.Tracer = tracer
+		slog.Debug("tracing enabled", "file", *tracePath)
+		defer func() {
+			if err := crowdsky.TracerErr(tracer); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+			}
+		}()
+	}
 	switch *parallel {
 	case "serial":
 		cfg.Parallelism = crowdsky.Serial

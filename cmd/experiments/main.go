@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -44,10 +45,17 @@ func main() {
 		return
 	}
 
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
+
 	cfg := experiments.Config{Runs: *runs, Seed: *seed, Scale: *scale}
 	if *verbose {
 		cfg.Progress = os.Stderr
 	}
+	slog.Debug("experiment config", "runs", *runs, "scale", *scale, "seed", *seed)
 
 	var ids []string
 	switch {

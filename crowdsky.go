@@ -44,6 +44,7 @@ import (
 	"crowdsky/internal/dataset"
 	"crowdsky/internal/metrics"
 	"crowdsky/internal/skyline"
+	"crowdsky/internal/telemetry"
 	"crowdsky/internal/voting"
 )
 
@@ -76,6 +77,30 @@ type Result = core.Result
 // Policy decides the number of workers per question from the question's
 // importance.
 type Policy = voting.Policy
+
+// Tracer receives structured trace events from a run: round boundaries,
+// P1/P2/P3 prunings, vote escalations and budget truncation. See
+// NewJSONLTracer for the file-backed implementation and
+// docs/OBSERVABILITY.md for the event schema.
+type Tracer = telemetry.Tracer
+
+// TraceEvent is one structured trace event.
+type TraceEvent = telemetry.Event
+
+// NewJSONLTracer returns a Tracer writing one JSON event per line to w
+// (the `crowdsky -trace out.jsonl` format). Writes are unbuffered; write
+// errors are sticky and never abort the run — check them afterwards with
+// TracerErr.
+func NewJSONLTracer(w io.Writer) Tracer { return telemetry.NewJSONL(w) }
+
+// TracerErr returns the first write error of a NewJSONLTracer tracer, and
+// nil for any other tracer.
+func TracerErr(t Tracer) error {
+	if j, ok := t.(*telemetry.JSONL); ok {
+		return j.Err()
+	}
+	return nil
+}
 
 // NewDataset builds a dataset from per-tuple known and latent
 // crowd-attribute rows; all attributes use MIN semantics (smaller
@@ -178,6 +203,9 @@ type RunConfig struct {
 	// Result.Truncated and reads out optimistically: every tuple not yet
 	// proven dominated is reported.
 	Budget int
+	// Tracer, when non-nil, receives structured trace events during the
+	// run. Nil disables tracing at no measurable cost.
+	Tracer Tracer
 }
 
 // StaticVoting returns the static majority-voting policy: omega workers for
@@ -248,6 +276,7 @@ func Run(d *Dataset, pf Platform, cfg RunConfig) (*Result, error) {
 		Voting:       cfg.Voting,
 		RoundRobinAC: cfg.RoundRobinAC,
 		MaxQuestions: cfg.Budget,
+		Tracer:       cfg.Tracer,
 	}
 	switch cfg.Parallelism {
 	case Serial:

@@ -95,13 +95,13 @@ func Baseline(d *dataset.Dataset, pf crowd.Platform, algo SortAlgorithm, policy 
 		}
 	}
 	sort.Ints(sky)
-	st := pf.Stats()
+	st := pf.Stats().Snapshot()
 	return &Result{
 		Skyline:       sky,
 		Questions:     st.Questions,
 		Rounds:        st.Rounds,
 		WorkerAnswers: st.WorkerAnswers,
-		Cost:          st.Cost(crowd.DefaultReward),
+		Cost:          pf.Stats().Cost(crowd.DefaultReward),
 	}
 }
 
@@ -167,13 +167,13 @@ func Unary(d *dataset.Dataset, up crowd.UnaryPlatform, workers int) *Result {
 		}
 	}
 	sort.Ints(sky)
-	st := up.Stats()
+	st := up.Stats().Snapshot()
 	return &Result{
 		Skyline:       sky,
 		Questions:     st.Questions,
 		Rounds:        st.Rounds,
 		WorkerAnswers: st.WorkerAnswers,
-		Cost:          st.Cost(crowd.DefaultReward),
+		Cost:          up.Stats().Cost(crowd.DefaultReward),
 	}
 }
 

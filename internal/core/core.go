@@ -22,11 +22,13 @@ package core
 import (
 	"math"
 	"sort"
+	"time"
 
 	"crowdsky/internal/crowd"
 	"crowdsky/internal/dataset"
 	"crowdsky/internal/prefgraph"
 	"crowdsky/internal/skyline"
+	"crowdsky/internal/telemetry"
 	"crowdsky/internal/voting"
 )
 
@@ -67,6 +69,10 @@ type Options struct {
 	// every tuple not yet proven dominated is reported in the skyline,
 	// and Result.Truncated is set.
 	MaxQuestions int
+	// Tracer receives structured trace events (round boundaries, P1/P2/P3
+	// prunings, vote escalations, budget truncation). Nil disables tracing
+	// at the cost of one pointer comparison per potential event.
+	Tracer telemetry.Tracer
 }
 
 // ProbeOrder selects the ordering of P3's probing questions.
@@ -132,6 +138,9 @@ type session struct {
 	// progress-aware voting policies (voting.ProgressPolicy); 0 disables
 	// progress tracking.
 	progressTotal int
+	// trace receives structured events; nil means tracing is disabled and
+	// every emission site reduces to a pointer comparison.
+	trace telemetry.Tracer
 
 	// useT selects whether completeness decisions may use transitive
 	// inference through the preference tree. The paper introduces the tree
@@ -155,17 +164,22 @@ type session struct {
 // (A < B).
 type directKey struct{ a, b, attr int }
 
-func newSession(d *dataset.Dataset, pf crowd.Platform, policy voting.Policy) *session {
+func newSession(d *dataset.Dataset, pf crowd.Platform, opts Options) *session {
+	policy := opts.Voting
 	if policy == nil {
 		policy = voting.Static{Omega: 1}
 	}
 	s := &session{
-		d:      d,
-		pf:     pf,
-		policy: policy,
-		direct: make(map[directKey]crowd.Preference),
-		alive:  make([]bool, d.N()),
-		twin:   make([]int, d.N()),
+		d:            d,
+		pf:           pf,
+		policy:       policy,
+		roundRobin:   opts.RoundRobinAC,
+		maxQuestions: opts.MaxQuestions,
+		useT:         opts.P2 || opts.P3,
+		trace:        opts.Tracer,
+		direct:       make(map[directKey]crowd.Preference),
+		alive:        make([]bool, d.N()),
+		twin:         make([]int, d.N()),
 	}
 	for i := range s.alive {
 		s.alive[i] = true
@@ -177,6 +191,13 @@ func newSession(d *dataset.Dataset, pf crowd.Platform, policy voting.Policy) *se
 	}
 	s.seedStoredValues()
 	return s
+}
+
+// emitRunStart emits the run_start trace event for the named algorithm.
+func (ss *session) emitRunStart(algo string) {
+	if ss.trace != nil {
+		ss.trace.Emit(telemetry.RunStart(algo, ss.d.N(), ss.d.CrowdDims()))
+	}
 }
 
 // seedStoredValues pre-loads the preference graphs with the relations
@@ -306,18 +327,25 @@ func (ss *session) workersFor(s, t, backup int) int {
 	f := ss.freq(s, t)
 	prog := 1.0
 	if ss.progressTotal > 0 {
-		prog = float64(ss.pf.Stats().Questions) / float64(ss.progressTotal)
+		prog = float64(ss.pf.Stats().Questions()) / float64(ss.progressTotal)
 		if prog > 1 {
 			prog = 1
 		}
 	}
+	var workers int
 	if cp, ok := ss.policy.(voting.ContextPolicy); ok {
-		return cp.WorkersFor(voting.Context{Progress: prog, Freq: f, Backup: backup})
+		workers = cp.WorkersFor(voting.Context{Progress: prog, Freq: f, Backup: backup})
+	} else if pp, ok := ss.policy.(voting.ProgressPolicy); ok && ss.progressTotal > 0 {
+		workers = pp.WorkersAt(prog, f)
+	} else {
+		workers = ss.policy.Workers(f)
 	}
-	if pp, ok := ss.policy.(voting.ProgressPolicy); ok && ss.progressTotal > 0 {
-		return pp.WorkersAt(prog, f)
+	if ss.trace != nil {
+		if base := ss.policy.Workers(0); workers > base {
+			ss.trace.Emit(telemetry.VoteEscalation(s, t, workers, base))
+		}
 	}
-	return ss.policy.Workers(f)
+	return workers
 }
 
 // estimateTotalQuestions predicts how many questions the run will ask, for
@@ -348,8 +376,11 @@ func (ss *session) budgetLeft() bool {
 	if ss.maxQuestions <= 0 {
 		return true
 	}
-	if ss.pf.Stats().Questions >= ss.maxQuestions {
+	if asked := ss.pf.Stats().Questions(); asked >= ss.maxQuestions && !ss.exhausted {
 		ss.exhausted = true
+		if ss.trace != nil {
+			ss.trace.Emit(telemetry.BudgetTruncated(asked, ss.maxQuestions))
+		}
 	}
 	return !ss.exhausted
 }
@@ -474,11 +505,11 @@ func (ss *session) askPairNow(s, t int) {
 		return
 	}
 	if ss.maxQuestions > 0 {
-		if room := ss.maxQuestions - ss.pf.Stats().Questions; len(reqs) > room {
+		if room := ss.maxQuestions - ss.pf.Stats().Questions(); len(reqs) > room {
 			reqs = reqs[:room]
 		}
 	}
-	ss.apply(ss.pf.Ask(reqs))
+	ss.doAsk(reqs)
 }
 
 // askRound asks one parallel round of requests, truncating to the
@@ -488,11 +519,27 @@ func (ss *session) askRound(reqs []crowd.Request) {
 		return
 	}
 	if ss.maxQuestions > 0 {
-		if room := ss.maxQuestions - ss.pf.Stats().Questions; len(reqs) > room {
+		if room := ss.maxQuestions - ss.pf.Stats().Questions(); len(reqs) > room {
 			reqs = reqs[:room]
 		}
 	}
-	ss.apply(ss.pf.Ask(reqs))
+	ss.doAsk(reqs)
+}
+
+// doAsk submits one round to the platform and applies the answers,
+// emitting round_start/round_end trace events around the (potentially
+// slow, potentially real-money) platform call.
+func (ss *session) doAsk(reqs []crowd.Request) {
+	if ss.trace == nil {
+		ss.apply(ss.pf.Ask(reqs))
+		return
+	}
+	round := ss.pf.Stats().Rounds() + 1
+	ss.trace.Emit(telemetry.RoundStart(round, len(reqs)))
+	start := time.Now()
+	answers := ss.pf.Ask(reqs)
+	ss.trace.Emit(telemetry.RoundEnd(round, len(reqs), time.Since(start)))
+	ss.apply(answers)
 }
 
 // acWeaklyPrefers reports whether s ⪯AC t is known: on every crowd
@@ -602,13 +649,16 @@ func (ss *session) finish(inSkyline []bool) *Result {
 		}
 	}
 	sort.Ints(sky)
-	st := ss.pf.Stats()
+	st := ss.pf.Stats().Snapshot()
+	if ss.trace != nil {
+		ss.trace.Emit(telemetry.RunEnd(st.Questions, st.Rounds, len(sky)))
+	}
 	return &Result{
 		Skyline:        sky,
 		Questions:      st.Questions,
 		Rounds:         st.Rounds,
 		WorkerAnswers:  st.WorkerAnswers,
-		Cost:           st.Cost(crowd.DefaultReward),
+		Cost:           ss.pf.Stats().Cost(crowd.DefaultReward),
 		Contradictions: ss.contradictions(),
 		Truncated:      ss.exhausted,
 	}

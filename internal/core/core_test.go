@@ -285,7 +285,7 @@ func TestMultiCrowdAttrQuestionCounting(t *testing.T) {
 	}
 	// Every round must carry at most |AC| questions in the serial run
 	// (one pair), and at least one.
-	for i, r := range pf.Stats().PerRound {
+	for i, r := range pf.Stats().PerRound() {
 		if r.Questions < 1 || r.Questions > d.CrowdDims() {
 			t.Errorf("round %d carries %d questions, want 1..%d", i, r.Questions, d.CrowdDims())
 		}

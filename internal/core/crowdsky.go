@@ -17,10 +17,8 @@ import (
 // skyline over A (Theorem 1); with a noisy platform accuracy depends on
 // the voting policy in opts.
 func CrowdSky(d *dataset.Dataset, pf crowd.Platform, opts Options) *Result {
-	ss := newSession(d, pf, opts.Voting)
-	ss.useT = opts.P2 || opts.P3
-	ss.roundRobin = opts.RoundRobinAC
-	ss.maxQuestions = opts.MaxQuestions
+	ss := newSession(d, pf, opts)
+	ss.emitRunStart("crowdsky")
 	ss.preprocessDegenerate()
 	sets := ss.aliveDominatingSets()
 	ss.fc = skyline.NewFreqCounter(d, sets)

@@ -1,6 +1,10 @@
 package core
 
-import "sort"
+import (
+	"sort"
+
+	"crowdsky/internal/telemetry"
+)
 
 // tupleEval is the per-tuple question pipeline shared by the serial
 // algorithm and both parallelizations: optional P1/P2 reduction of the
@@ -46,8 +50,15 @@ func newTupleEval(ss *session, t int, ds []int, opts Options, nonSkyline []bool)
 		te.ds = append(te.ds, s)
 		te.inDS[s] = true
 	}
+	if ss.trace != nil && opts.P1 && len(te.ds) < len(ds) {
+		ss.trace.Emit(telemetry.P1Prune(t, len(ds), len(te.ds)))
+	}
 	if opts.P2 {
+		before := len(te.ds)
 		te.reduceToACSkyline(ss)
+		if ss.trace != nil && len(te.ds) < before {
+			ss.trace.Emit(telemetry.P2Reduce(t, before, len(te.ds)))
+		}
 	}
 	if opts.P3 && len(te.ds) > 1 {
 		for i := 0; i < len(te.ds); i++ {
@@ -148,8 +159,14 @@ func (te *tupleEval) next(ss *session) (p pair, ok bool) {
 		switch {
 		case ss.acDominates(pr.a, pr.b):
 			te.remove(pr.b)
+			if ss.trace != nil {
+				ss.trace.Emit(telemetry.P3Resolve(te.t, pr.b))
+			}
 		case ss.acDominates(pr.b, pr.a):
 			te.remove(pr.a)
+			if ss.trace != nil {
+				ss.trace.Emit(telemetry.P3Resolve(te.t, pr.a))
+			}
 		}
 		te.probeAt++
 	}

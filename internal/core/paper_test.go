@@ -224,14 +224,14 @@ func TestPaperExample8(t *testing.T) {
 		t.Errorf("rounds = %d, want 6 (Example 8)", res.Rounds)
 	}
 	// Check the exact schedule of Table 3.
-	stats := pf.Stats()
+	perRound := pf.Stats().PerRound()
 	wantPerRound := []int{4, 3, 2, 1, 1, 1}
-	if len(stats.PerRound) != len(wantPerRound) {
-		t.Fatalf("rounds = %d, want %d", len(stats.PerRound), len(wantPerRound))
+	if len(perRound) != len(wantPerRound) {
+		t.Fatalf("rounds = %d, want %d", len(perRound), len(wantPerRound))
 	}
 	for i, want := range wantPerRound {
-		if stats.PerRound[i].Questions != want {
-			t.Errorf("round %d has %d questions, want %d (Table 3)", i+1, stats.PerRound[i].Questions, want)
+		if perRound[i].Questions != want {
+			t.Errorf("round %d has %d questions, want %d (Table 3)", i+1, perRound[i].Questions, want)
 		}
 	}
 }

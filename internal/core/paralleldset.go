@@ -20,10 +20,8 @@ import (
 // The questions asked are exactly those of the serial CrowdSky run with the
 // same pruning options; only their arrangement into rounds differs.
 func ParallelDSet(d *dataset.Dataset, pf crowd.Platform, opts Options) *Result {
-	ss := newSession(d, pf, opts.Voting)
-	ss.useT = opts.P2 || opts.P3
-	ss.roundRobin = opts.RoundRobinAC
-	ss.maxQuestions = opts.MaxQuestions
+	ss := newSession(d, pf, opts)
+	ss.emitRunStart("parallel-dset")
 	ss.preprocessDegenerate()
 	sets := ss.aliveDominatingSets()
 	ss.fc = skyline.NewFreqCounter(d, sets)

@@ -20,10 +20,8 @@ import (
 // which can ask a few extra questions in exchange for far fewer rounds;
 // the paper measures the overhead at roughly 10%.
 func ParallelSL(d *dataset.Dataset, pf crowd.Platform, opts Options) *Result {
-	ss := newSession(d, pf, opts.Voting)
-	ss.useT = opts.P2 || opts.P3
-	ss.roundRobin = opts.RoundRobinAC
-	ss.maxQuestions = opts.MaxQuestions
+	ss := newSession(d, pf, opts)
+	ss.emitRunStart("parallel-sl")
 	ss.preprocessDegenerate()
 	sets := ss.aliveDominatingSets()
 	ss.fc = skyline.NewFreqCounter(d, sets)

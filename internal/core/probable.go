@@ -40,10 +40,8 @@ type ProbabilisticResult struct {
 // unlimited budget every tuple is complete and the probabilities collapse
 // to the exact skyline indicator.
 func CrowdSkyProbabilistic(d *dataset.Dataset, pf crowd.Platform, opts Options) *ProbabilisticResult {
-	ss := newSession(d, pf, opts.Voting)
-	ss.useT = opts.P2 || opts.P3
-	ss.roundRobin = opts.RoundRobinAC
-	ss.maxQuestions = opts.MaxQuestions
+	ss := newSession(d, pf, opts)
+	ss.emitRunStart("crowdsky-probabilistic")
 	ss.preprocessDegenerate()
 	sets := ss.aliveDominatingSets()
 	ss.fc = newFreqCounter(d, sets)

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdsky/internal/dataset"
+	"crowdsky/internal/telemetry"
+	"crowdsky/internal/voting"
+)
+
+// TestTraceEventsOnToyDataset runs the full CrowdSky configuration on the
+// paper's running example (Table 1) and checks that the trace reflects the
+// run: a run_start/run_end frame, matched round boundaries that agree with
+// the result's round accounting, and at least one P1 and one P2 pruning
+// event (the toy dataset exercises both, per Examples 4-5).
+func TestTraceEventsOnToyDataset(t *testing.T) {
+	d := dataset.Toy()
+	var tr telemetry.Collector
+	opts := AllPruning()
+	opts.Tracer = &tr
+	res := CrowdSky(d, perfect(d), opts)
+
+	if got := tr.Count(telemetry.EventRunStart); got != 1 {
+		t.Errorf("run_start events = %d, want 1", got)
+	}
+	if rs := tr.ByType(telemetry.EventRunStart)[0]; rs.Algo != "crowdsky" || rs.N != d.N() {
+		t.Errorf("run_start = %+v", rs)
+	}
+	if got := tr.Count(telemetry.EventP1Prune); got < 1 {
+		t.Error("no p1_prune events on the toy dataset")
+	}
+	if got := tr.Count(telemetry.EventP2Reduce); got < 1 {
+		t.Error("no p2_reduce events on the toy dataset")
+	}
+	for _, e := range tr.ByType(telemetry.EventP1Prune) {
+		if e.Removed != e.Before-e.After || e.Removed < 1 {
+			t.Errorf("inconsistent p1_prune: %+v", e)
+		}
+	}
+	starts := tr.Count(telemetry.EventRoundStart)
+	ends := tr.Count(telemetry.EventRoundEnd)
+	if starts != ends || starts != res.Rounds {
+		t.Errorf("round events %d/%d, want both = %d rounds", starts, ends, res.Rounds)
+	}
+	re := tr.ByType(telemetry.EventRunEnd)
+	if len(re) != 1 || re[0].Questions != res.Questions || re[0].Skyline != len(res.Skyline) {
+		t.Errorf("run_end mismatch: %+v vs result %+v", re, res)
+	}
+	events := tr.Events()
+	if events[0].Type != telemetry.EventRunStart || events[len(events)-1].Type != telemetry.EventRunEnd {
+		t.Errorf("trace not framed by run_start/run_end")
+	}
+}
+
+// TestTraceP3AndParallel checks p3_resolve events fire when probing prunes
+// a dominating set, and that the parallel algorithms stamp their own algo
+// names.
+func TestTraceP3AndParallel(t *testing.T) {
+	d := dataset.Toy()
+	var tr telemetry.Collector
+	opts := AllPruning()
+	opts.Tracer = &tr
+	ParallelSL(d, perfect(d), opts)
+	if rs := tr.ByType(telemetry.EventRunStart); len(rs) != 1 || rs[0].Algo != "parallel-sl" {
+		t.Errorf("run_start = %+v", rs)
+	}
+	if tr.Count(telemetry.EventP3Resolve) < 1 {
+		t.Error("no p3_resolve events; Section 3.4 resolves probes on the toy dataset")
+	}
+}
+
+// TestTraceBudgetTruncation: exhausting MaxQuestions emits exactly one
+// budget_truncated event carrying the cap.
+func TestTraceBudgetTruncation(t *testing.T) {
+	d := dataset.Toy()
+	var tr telemetry.Collector
+	opts := AllPruning()
+	opts.Tracer = &tr
+	opts.MaxQuestions = 5
+	res := CrowdSky(d, perfect(d), opts)
+	if !res.Truncated {
+		t.Fatal("budget of 5 not exhausted on the toy dataset")
+	}
+	bt := tr.ByType(telemetry.EventBudgetTruncated)
+	if len(bt) != 1 {
+		t.Fatalf("budget_truncated events = %d, want exactly 1 (latched)", len(bt))
+	}
+	if bt[0].Budget != 5 || bt[0].Questions < 5 {
+		t.Errorf("budget_truncated = %+v", bt[0])
+	}
+}
+
+// TestTraceVoteEscalation: the annealed policy assigns omega+2 workers to
+// early questions, which must surface as vote_escalation events naming the
+// nominal base.
+func TestTraceVoteEscalation(t *testing.T) {
+	d := dataset.Toy()
+	var tr telemetry.Collector
+	opts := AllPruning()
+	opts.Tracer = &tr
+	opts.Voting = voting.NewAnnealed(5)
+	CrowdSky(d, perfect(d), opts)
+	ve := tr.ByType(telemetry.EventVoteEscalation)
+	if len(ve) == 0 {
+		t.Fatal("annealed voting produced no vote_escalation events")
+	}
+	for _, e := range ve {
+		if e.Workers <= e.Base || e.Base != 5 {
+			t.Errorf("vote_escalation = %+v, want workers > base = 5", e)
+		}
+		if e.A < 0 || e.B < 0 {
+			t.Errorf("vote_escalation missing pair: %+v", e)
+		}
+	}
+	// Static voting never escalates.
+	var tr2 telemetry.Collector
+	opts2 := AllPruning()
+	opts2.Tracer = &tr2
+	opts2.Voting = voting.Static{Omega: 5}
+	CrowdSky(d, perfect(d), opts2)
+	if n := tr2.Count(telemetry.EventVoteEscalation); n != 0 {
+		t.Errorf("static voting emitted %d vote_escalation events", n)
+	}
+}
+
+// benchDataset builds a deterministic 100-tuple synthetic instance large
+// enough that the emission guards run thousands of times per operation.
+func benchDataset(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	d, err := dataset.Generate(dataset.GenerateConfig{
+		N: 100, KnownDims: 2, CrowdDims: 1, Distribution: dataset.Independent,
+	}, rand.New(rand.NewSource(42)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkCrowdSkyNoTrace is the baseline: Options.Tracer nil, every
+// emission site reduced to a pointer comparison. Compare against
+// BenchmarkCrowdSkyTraced to measure tracing overhead.
+func BenchmarkCrowdSkyNoTrace(b *testing.B) {
+	d := benchDataset(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CrowdSky(d, perfect(d), AllPruning())
+	}
+}
+
+// BenchmarkCrowdSkyTraced runs the same workload with an in-memory
+// collector attached.
+func BenchmarkCrowdSkyTraced(b *testing.B) {
+	d := benchDataset(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var tr telemetry.Collector
+		opts := AllPruning()
+		opts.Tracer = &tr
+		CrowdSky(d, perfect(d), opts)
+	}
+}

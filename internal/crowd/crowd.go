@@ -12,7 +12,10 @@
 // live here so no algorithm can miscount its own budget.
 package crowd
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Preference is the ternary outcome of a pair-wise question (s, t): the
 // crowd prefers s, prefers t, or finds them equally preferred
@@ -109,16 +112,28 @@ const QuestionsPerHIT = 5
 // DefaultReward is the paper's per-HIT-assignment reward in dollars.
 const DefaultReward = 0.02
 
-// Stats accumulates platform accounting across rounds.
+// Stats accumulates platform accounting across rounds. It is safe for
+// concurrent use: recording and reading take an internal mutex, so
+// monitoring decorators and HTTP stats handlers can read a live run's
+// accounting while rounds record. The zero value is ready to use.
 type Stats struct {
-	Questions     int         // total questions asked
-	Rounds        int         // total non-empty Ask calls
-	WorkerAnswers int         // total individual worker judgments collected
-	PerRound      []RoundStat // per-round breakdown, in order
+	mu            sync.Mutex
+	questions     int         // total questions asked
+	rounds        int         // total non-empty Ask calls
+	workerAnswers int         // total individual worker judgments collected
+	perRound      []RoundStat // per-round breakdown, in order
 
 	// byWorkers counts questions per assigned worker count across the
 	// whole run, for the HIT-packed cost model.
 	byWorkers map[int]int
+}
+
+// Snapshot is a consistent point-in-time copy of a run's accounting.
+type Snapshot struct {
+	Questions     int
+	Rounds        int
+	WorkerAnswers int
+	PerRound      []RoundStat
 }
 
 // Record books one round containing the given requests. It is exported
@@ -129,8 +144,10 @@ func (s *Stats) Record(reqs []Request) { s.record(reqs) }
 
 // record books one round containing the given requests.
 func (s *Stats) record(reqs []Request) {
-	s.Questions += len(reqs)
-	s.Rounds++
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.questions += len(reqs)
+	s.rounds++
 	if s.byWorkers == nil {
 		s.byWorkers = make(map[int]int)
 	}
@@ -145,12 +162,53 @@ func (s *Stats) record(reqs []Request) {
 		s.byWorkers[w]++
 		workerAnswers += w
 	}
-	s.WorkerAnswers += workerAnswers
+	s.workerAnswers += workerAnswers
 	units := 0
 	for w, count := range roundByWorkers {
 		units += ((count + QuestionsPerHIT - 1) / QuestionsPerHIT) * w
 	}
-	s.PerRound = append(s.PerRound, RoundStat{Questions: len(reqs), WorkerUnits: units})
+	s.perRound = append(s.perRound, RoundStat{Questions: len(reqs), WorkerUnits: units})
+}
+
+// Questions returns the total number of questions asked so far.
+func (s *Stats) Questions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.questions
+}
+
+// Rounds returns the number of non-empty Ask calls so far.
+func (s *Stats) Rounds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rounds
+}
+
+// WorkerAnswers returns the total number of individual worker judgments
+// collected so far.
+func (s *Stats) WorkerAnswers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workerAnswers
+}
+
+// PerRound returns a copy of the per-round breakdown, in round order.
+func (s *Stats) PerRound() []RoundStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]RoundStat(nil), s.perRound...)
+}
+
+// Snapshot returns a consistent copy of every accumulator at once.
+func (s *Stats) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Snapshot{
+		Questions:     s.questions,
+		Rounds:        s.rounds,
+		WorkerAnswers: s.workerAnswers,
+		PerRound:      append([]RoundStat(nil), s.perRound...),
+	}
 }
 
 // Cost returns the total monetary cost in dollars under the paper's AMT
@@ -162,6 +220,8 @@ func (s *Stats) record(reqs []Request) {
 // rounds rarely fill a HIT). The per-round worker units remain available in
 // PerRound for the conservative per-round model.
 func (s *Stats) Cost(reward float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	units := 0
 	for w, count := range s.byWorkers {
 		units += ((count + QuestionsPerHIT - 1) / QuestionsPerHIT) * w
@@ -172,8 +232,10 @@ func (s *Stats) Cost(reward float64) float64 {
 // MaxRoundSize returns the largest number of questions asked in any single
 // round (the parallelism width).
 func (s *Stats) MaxRoundSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	m := 0
-	for _, r := range s.PerRound {
+	for _, r := range s.perRound {
 		if r.Questions > m {
 			m = r.Questions
 		}

@@ -3,6 +3,7 @@ package crowd
 import (
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"crowdsky/internal/dataset"
@@ -59,11 +60,11 @@ func TestPerfectPlatform(t *testing.T) {
 	if len(answers) != 2 || answers[0].Pref != First || answers[1].Pref != Second {
 		t.Errorf("perfect answers wrong: %+v", answers)
 	}
-	st := pf.Stats()
+	st := pf.Stats().Snapshot()
 	if st.Questions != 2 || st.Rounds != 1 || st.WorkerAnswers != 10 {
 		t.Errorf("stats = %+v", st)
 	}
-	if pf.Ask(nil) != nil || pf.Stats().Rounds != 1 {
+	if pf.Ask(nil) != nil || pf.Stats().Rounds() != 1 {
 		t.Errorf("empty Ask consumed a round")
 	}
 }
@@ -88,7 +89,7 @@ func TestStatsCostFormula(t *testing.T) {
 	// The conservative per-round packing stays available in PerRound:
 	// ⌈7/5⌉×5 + ⌈3/5⌉×5 = 15 worker units.
 	perRound := 0
-	for _, r := range s.PerRound {
+	for _, r := range s.PerRound() {
 		perRound += r.WorkerUnits
 	}
 	if perRound != 15 {
@@ -107,8 +108,8 @@ func TestStatsCostFormula(t *testing.T) {
 	// Workers < 1 count as 1.
 	var z Stats
 	z.record([]Request{{Workers: 0}})
-	if z.WorkerAnswers != 1 {
-		t.Errorf("zero-worker request booked %d answers", z.WorkerAnswers)
+	if z.WorkerAnswers() != 1 {
+		t.Errorf("zero-worker request booked %d answers", z.WorkerAnswers())
 	}
 }
 
@@ -214,7 +215,7 @@ func TestSimulatedPlatformStatistics(t *testing.T) {
 	if pf.Mistakes() != trials-correct {
 		t.Errorf("mistakes = %d, want %d", pf.Mistakes(), trials-correct)
 	}
-	st := pf.Stats()
+	st := pf.Stats().Snapshot()
 	if st.Questions != trials || st.WorkerAnswers != trials*5 {
 		t.Errorf("stats = %+v", st)
 	}
@@ -240,7 +241,7 @@ func TestInteractivePlatform(t *testing.T) {
 	if !strings.Contains(out.String(), "please answer") {
 		t.Errorf("invalid input not re-prompted")
 	}
-	if ia.Stats().Questions != 3 {
+	if ia.Stats().Questions() != 3 {
 		t.Errorf("interactive stats wrong")
 	}
 }
@@ -252,7 +253,7 @@ func TestRecorderAndReplayer(t *testing.T) {
 	q2 := Question{A: d.Index("a"), B: d.Index("b")}
 	rec.Ask([]Request{{Q: q1}})
 	rec.Ask([]Request{{Q: q2}})
-	if len(rec.Log) != 2 || rec.Stats().Rounds != 2 {
+	if len(rec.Log) != 2 || rec.Stats().Rounds() != 2 {
 		t.Fatalf("recorder log/stats wrong")
 	}
 	rp := NewReplayer(rec.Log)
@@ -284,7 +285,7 @@ func TestSimulatedUnary(t *testing.T) {
 	if ests[0] != d.Latent(d.Index("f"), 0) || ests[1] != d.Latent(d.Index("e"), 0) {
 		t.Errorf("zero-noise estimates wrong: %v", ests)
 	}
-	st := up.Stats()
+	st := up.Stats().Snapshot()
 	if st.Questions != 2 || st.Rounds != 1 || st.WorkerAnswers != 6 {
 		t.Errorf("unary stats = %+v", st)
 	}
@@ -311,4 +312,48 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// TestStatsConcurrent hammers one Stats from recording and reading
+// goroutines; run with -race this is the regression test for concurrent
+// monitoring reads (HTTP stats handlers, platform decorators) during a
+// live run.
+func TestStatsConcurrent(t *testing.T) {
+	var s Stats
+	const writers, readers, rounds = 4, 4, 250
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				s.Record([]Request{{Workers: 3}, {Workers: 5}})
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				_ = s.Questions()
+				_ = s.Cost(DefaultReward)
+				_ = s.MaxRoundSize()
+				snap := s.Snapshot()
+				if snap.Questions != 2*snap.Rounds {
+					t.Errorf("torn snapshot: %d questions in %d rounds", snap.Questions, snap.Rounds)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Questions() != 2*writers*rounds || s.Rounds() != writers*rounds {
+		t.Errorf("final stats: %d questions, %d rounds", s.Questions(), s.Rounds())
+	}
+	if s.WorkerAnswers() != 8*writers*rounds {
+		t.Errorf("worker answers = %d", s.WorkerAnswers())
+	}
+	if got := len(s.PerRound()); got != writers*rounds {
+		t.Errorf("per-round entries = %d", got)
+	}
 }

@@ -40,5 +40,5 @@ func (m LatencyModel) Estimate(rounds int) time.Duration {
 
 // EstimateStats applies the model to a finished run's accounting.
 func (m LatencyModel) EstimateStats(s *Stats) time.Duration {
-	return m.Estimate(s.Rounds)
+	return m.Estimate(s.Rounds())
 }

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -313,7 +315,136 @@ func TestClientEmptyAsk(t *testing.T) {
 	if client.Ask(nil) != nil {
 		t.Errorf("empty ask returned answers")
 	}
-	if client.Stats().Rounds != 0 {
+	if client.Stats().Rounds() != 0 {
 		t.Errorf("empty ask consumed a round")
+	}
+}
+
+// TestStatsEndpointShape checks the JSON shape of GET /api/stats including
+// the lease-requeue and per-worker judgment extensions.
+func TestStatsEndpointShape(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.SetLease(1 * time.Millisecond)
+
+	resp := postJSON(t, ts.URL+"/api/rounds", map[string]any{
+		"questions": []QuestionJSON{
+			{A: 0, B: 1, Attr: 0, Workers: 1},
+			{A: 2, B: 3, Attr: 0, Workers: 1},
+		},
+	})
+	resp.Body.Close()
+
+	// First worker leases an assignment and lets it lapse (one requeue);
+	// a second worker answers both questions.
+	resp, err := http.Get(ts.URL + "/api/work?worker=slacker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	time.Sleep(5 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		resp, err = http.Get(ts.URL + "/api/work?worker=diligent")
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := decode[workItem](t, resp)
+		resp = postJSON(t, ts.URL+"/api/answers", map[string]any{
+			"assignment_id": job.AssignmentID, "worker": "diligent", "pref": "first",
+		})
+		resp.Body.Close()
+	}
+
+	resp, err = http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type statsResp struct {
+		Rounds            int            `json:"rounds"`
+		Questions         int            `json:"questions"`
+		Judgments         int            `json:"judgments"`
+		Open              int            `json:"open"`
+		LeaseRequeues     int            `json:"lease_requeues"`
+		JudgmentsByWorker map[string]int `json:"judgments_by_worker"`
+	}
+	st := decode[statsResp](t, resp)
+	if st.Rounds != 1 || st.Questions != 2 || st.Judgments != 2 || st.Open != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.LeaseRequeues != 1 {
+		t.Errorf("lease_requeues = %d, want 1", st.LeaseRequeues)
+	}
+	if st.JudgmentsByWorker["diligent"] != 2 || st.JudgmentsByWorker["slacker"] != 0 {
+		t.Errorf("judgments_by_worker = %v", st.JudgmentsByWorker)
+	}
+}
+
+// TestMetricsEndpoint scrapes GET /metrics after a round completes and
+// checks the Prometheus exposition carries the marketplace counters and
+// the per-route HTTP latency histograms.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/api/rounds", map[string]any{
+		"questions": []QuestionJSON{{A: 0, B: 1, Attr: 0, Workers: 1}},
+	})
+	resp.Body.Close()
+	resp, err := http.Get(ts.URL + "/api/work?worker=w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := decode[workItem](t, resp)
+	resp = postJSON(t, ts.URL+"/api/answers", map[string]any{
+		"assignment_id": job.AssignmentID, "worker": "w1", "pref": "first",
+	})
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(data)
+	for _, line := range []string{
+		"crowdserve_rounds_total 1",
+		"crowdserve_questions_total 1",
+		"crowdserve_judgments_total 1",
+		"crowdserve_lease_requeues_total 0",
+		"crowdserve_open_assignments 0",
+		`crowdserve_http_requests_total{route="/api/rounds",method="POST",code="201"} 1`,
+		`crowdserve_http_request_seconds_count{route="/api/answers"} 1`,
+		"# TYPE crowdserve_http_request_seconds histogram",
+	} {
+		if !strings.Contains(body, line+"\n") {
+			t.Errorf("metrics missing %q", line)
+		}
+	}
+}
+
+// TestPersistRequeuesAndPerWorker round-trips the new snapshot fields.
+func TestPersistRequeuesAndPerWorker(t *testing.T) {
+	srv := NewServer()
+	srv.mu.Lock()
+	srv.requeues = 3
+	srv.perWorker["w1"] = 7
+	srv.mu.Unlock()
+
+	var buf bytes.Buffer
+	if err := srv.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewServer()
+	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	restored.mu.Lock()
+	defer restored.mu.Unlock()
+	if restored.requeues != 3 || restored.perWorker["w1"] != 7 {
+		t.Errorf("restored requeues=%d perWorker=%v", restored.requeues, restored.perWorker)
 	}
 }

@@ -22,6 +22,8 @@ type snapshot struct {
 	NextRoundID int64           `json:"next_round_id"`
 	NextAssign  int64           `json:"next_assign"`
 	Judgments   int             `json:"judgments"`
+	Requeues    int             `json:"lease_requeues,omitempty"`
+	PerWorker   map[string]int  `json:"judgments_by_worker,omitempty"`
 	Rounds      []roundSnapshot `json:"rounds"`
 	Open        []assignSnap    `json:"open"`
 }
@@ -50,6 +52,13 @@ func (s *Server) Snapshot(w io.Writer) error {
 		NextRoundID: s.nextRoundID,
 		NextAssign:  s.nextAssign,
 		Judgments:   s.judgments,
+		Requeues:    s.requeues,
+	}
+	if len(s.perWorker) > 0 {
+		snap.PerWorker = make(map[string]int, len(s.perWorker))
+		for id, n := range s.perWorker {
+			snap.PerWorker[id] = n
+		}
 	}
 	for _, rd := range s.rounds {
 		rs := roundSnapshot{
@@ -93,6 +102,11 @@ func (s *Server) Restore(r io.Reader) error {
 	s.nextRoundID = snap.NextRoundID
 	s.nextAssign = snap.NextAssign
 	s.judgments = snap.Judgments
+	s.requeues = snap.Requeues
+	s.perWorker = make(map[string]int, len(snap.PerWorker))
+	for id, n := range snap.PerWorker {
+		s.perWorker[id] = n
+	}
 	s.rounds = make(map[int64]*round, len(snap.Rounds))
 	s.queue = nil
 	s.leased = make(map[int64]*assignment)

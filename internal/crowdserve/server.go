@@ -16,7 +16,9 @@
 //	GET  /api/rounds/{id}       → {done, answers: [{a,b,attr,pref}]}
 //	GET  /api/work?worker=W     → {assignment_id, a, b, attr} or 204
 //	POST /api/answers           {assignment_id, worker, pref}
-//	GET  /api/stats             → {rounds, questions, judgments, open}
+//	GET  /api/stats             → {rounds, questions, judgments, open,
+//	                               lease_requeues, judgments_by_worker}
+//	GET  /metrics               → Prometheus text exposition
 //
 // pref is "first", "second" or "equal". Assignments are leased: a fetched
 // assignment that is not answered within the lease duration is silently
@@ -33,6 +35,7 @@ import (
 	"time"
 
 	"crowdsky/internal/crowd"
+	"crowdsky/internal/telemetry"
 )
 
 // DefaultLease is how long a worker may hold an assignment before it is
@@ -104,17 +107,47 @@ type Server struct {
 	now         func() time.Time
 
 	judgments int
+	requeues  int            // assignments returned to the queue after a lapsed lease
+	perWorker map[string]int // judgments submitted per worker id
+
+	// Telemetry: the registry backs GET /metrics; the counters mirror the
+	// mutex-guarded accounting above so dashboards can scrape without
+	// hitting the stats endpoint.
+	reg        *telemetry.Registry
+	httpm      *telemetry.HTTPMetrics
+	mRounds    *telemetry.Counter
+	mQuestions *telemetry.Counter
+	mJudgments *telemetry.Counter
+	mRequeues  *telemetry.Counter
 }
 
 // NewServer creates an empty marketplace with the default lease.
 func NewServer() *Server {
-	return &Server{
-		rounds: make(map[int64]*round),
-		leased: make(map[int64]*assignment),
-		lease:  DefaultLease,
-		now:    time.Now,
+	s := &Server{
+		rounds:    make(map[int64]*round),
+		leased:    make(map[int64]*assignment),
+		lease:     DefaultLease,
+		now:       time.Now,
+		perWorker: make(map[string]int),
+		reg:       telemetry.NewRegistry(),
 	}
+	s.httpm = telemetry.NewHTTPMetrics(s.reg, "crowdserve")
+	s.mRounds = s.reg.NewCounter("crowdserve_rounds_total", "Rounds posted by requesters.")
+	s.mQuestions = s.reg.NewCounter("crowdserve_questions_total", "Questions posted across all rounds.")
+	s.mJudgments = s.reg.NewCounter("crowdserve_judgments_total", "Worker judgments accepted.")
+	s.mRequeues = s.reg.NewCounter("crowdserve_lease_requeues_total", "Assignments requeued after a lapsed lease.")
+	s.reg.NewGaugeFunc("crowdserve_open_assignments", "Assignments currently queued or leased.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.queue) + len(s.leased))
+	})
+	return s
 }
+
+// Metrics returns the server's telemetry registry, for embedding the
+// marketplace metrics into a larger process-wide registry page or for
+// tests.
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
 
 // SetLease overrides the assignment lease duration (tests use short
 // leases).
@@ -124,14 +157,18 @@ func (s *Server) SetLease(d time.Duration) {
 	s.lease = d
 }
 
-// Handler returns the HTTP handler serving the marketplace API.
+// Handler returns the HTTP handler serving the marketplace API. Every
+// route is instrumented with request counters and latency histograms; the
+// route label is the registration pattern, not the raw path, so metric
+// cardinality stays bounded.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/rounds", s.handlePostRound)
-	mux.HandleFunc("GET /api/rounds/", s.handleGetRound)
-	mux.HandleFunc("GET /api/work", s.handleGetWork)
-	mux.HandleFunc("POST /api/answers", s.handlePostAnswer)
-	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.Handle("POST /api/rounds", s.httpm.WrapFunc("/api/rounds", s.handlePostRound))
+	mux.Handle("GET /api/rounds/", s.httpm.WrapFunc("/api/rounds/{id}", s.handleGetRound))
+	mux.Handle("GET /api/work", s.httpm.WrapFunc("/api/work", s.handleGetWork))
+	mux.Handle("POST /api/answers", s.httpm.WrapFunc("/api/answers", s.handlePostAnswer))
+	mux.Handle("GET /api/stats", s.httpm.WrapFunc("/api/stats", s.handleStats))
+	mux.Handle("GET /metrics", s.reg.Handler())
 	return mux
 }
 
@@ -188,6 +225,8 @@ func (s *Server) handlePostRound(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.rounds[rd.id] = rd
+	s.mRounds.Inc()
+	s.mQuestions.Add(uint64(len(body.Questions)))
 	writeJSON(w, http.StatusCreated, map[string]int64{"round_id": rd.id})
 }
 
@@ -275,6 +314,8 @@ func (s *Server) reapExpiredLocked() {
 			a.leasedTo = ""
 			delete(s.leased, id)
 			s.queue = append(s.queue, a)
+			s.requeues++
+			s.mRequeues.Inc()
 		}
 	}
 }
@@ -312,6 +353,8 @@ func (s *Server) handlePostAnswer(w http.ResponseWriter, r *http.Request) {
 	rd.voters[a.qIndex][body.Worker] = true
 	rd.remaining--
 	s.judgments++
+	s.perWorker[body.Worker]++
+	s.mJudgments.Inc()
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
@@ -324,10 +367,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, rd := range s.rounds {
 		questions += len(rd.questions)
 	}
-	writeJSON(w, http.StatusOK, map[string]int{
-		"rounds":    len(s.rounds),
-		"questions": questions,
-		"judgments": s.judgments,
-		"open":      open,
+	byWorker := make(map[string]int, len(s.perWorker))
+	for id, n := range s.perWorker {
+		byWorker[id] = n
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rounds":              len(s.rounds),
+		"questions":           questions,
+		"judgments":           s.judgments,
+		"open":                open,
+		"lease_requeues":      s.requeues,
+		"judgments_by_worker": byWorker,
 	})
 }

@@ -96,7 +96,7 @@ func RenderTable3(w io.Writer) error {
 		return err
 	}
 	at := 0
-	for ri, rs := range pf.Stats().PerRound {
+	for ri, rs := range pf.Stats().PerRound() {
 		var qs []string
 		for i := 0; i < rs.Questions; i++ {
 			a := rec.Log[at]

@@ -166,7 +166,7 @@ func (p *Platform) Ask(reqs []crowd.Request) []crowd.Answer {
 		return nil
 	}
 	p.stats.Record(reqs)
-	round := p.stats.Rounds
+	round := p.stats.Rounds()
 
 	out := make([]crowd.Answer, len(reqs))
 	var liveReqs []crowd.Request

@@ -130,8 +130,8 @@ func TestResumeMidRun(t *testing.T) {
 	if p2.Replayed() != 7 {
 		t.Errorf("replayed %d, want 7", p2.Replayed())
 	}
-	if live.Stats().Questions != 5 {
-		t.Errorf("live platform asked %d, want the 5 missing", live.Stats().Questions)
+	if live.Stats().Questions() != 5 {
+		t.Errorf("live platform asked %d, want the 5 missing", live.Stats().Questions())
 	}
 	if !metrics.SameSet(res.Skyline, core.Oracle(d)) {
 		t.Errorf("resumed skyline wrong")

@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPMetrics instruments HTTP handlers with per-route request counters
+// (labelled by route, method and status code) and per-route latency
+// histograms.
+type HTTPMetrics struct {
+	requests *CounterVec
+	latency  *HistogramVec
+}
+
+// NewHTTPMetrics registers the HTTP metric families on reg under
+// <prefix>_http_requests_total and <prefix>_http_request_seconds.
+func NewHTTPMetrics(reg *Registry, prefix string) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: reg.NewCounterVec(prefix+"_http_requests_total",
+			"HTTP requests served.", "route", "method", "code"),
+		latency: reg.NewHistogramVec(prefix+"_http_request_seconds",
+			"HTTP request latency.", DefBuckets, "route"),
+	}
+}
+
+// statusWriter captures the response status code (200 when the handler
+// never calls WriteHeader explicitly).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Wrap instruments h under the given route label. The route is a static
+// string (e.g. "/api/rounds/{id}"), not the raw request path, to keep
+// metric cardinality bounded.
+func (m *HTTPMetrics) Wrap(route string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		m.latency.With(route).Observe(time.Since(start).Seconds())
+		m.requests.With(route, r.Method, strconv.Itoa(sw.code)).Inc()
+	})
+}
+
+// WrapFunc is Wrap for handler functions.
+func (m *HTTPMetrics) WrapFunc(route string, h http.HandlerFunc) http.Handler {
+	return m.Wrap(route, h)
+}

@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPMetrics(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "test")
+
+	ok := m.WrapFunc("/api/work", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("hi")) // no explicit WriteHeader: code defaults to 200
+	})
+	notFound := m.WrapFunc("/api/rounds/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+	})
+
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		ok.ServeHTTP(rec, httptest.NewRequest("GET", "/api/work?worker=w1", nil))
+		if rec.Code != 200 {
+			t.Fatalf("status = %d", rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	notFound.ServeHTTP(rec, httptest.NewRequest("GET", "/api/rounds/99", nil))
+	if rec.Code != 404 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`test_http_requests_total{route="/api/work",method="GET",code="200"} 3`,
+		`test_http_requests_total{route="/api/rounds/{id}",method="GET",code="404"} 1`,
+		`test_http_request_seconds_count{route="/api/work"} 3`,
+	} {
+		if !strings.Contains(sb.String(), line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, sb.String())
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"time"
+
+	"crowdsky/internal/crowd"
+)
+
+// InstrumentedPlatform decorates a crowd.Platform with metrics: question,
+// round and worker-answer counters plus a per-round latency histogram. It
+// composes with every platform in the repository — the simulator, the
+// Recorder/Replayer pair, the journal platform, and the HTTP marketplace
+// client — because it only sees the Platform interface.
+type InstrumentedPlatform struct {
+	inner crowd.Platform
+
+	questions     *Counter
+	rounds        *Counter
+	workerAnswers *Counter
+	roundLatency  *Histogram
+}
+
+// Platform metric names, exported so dashboards and tests can reference
+// them without string duplication.
+const (
+	MetricCrowdQuestions    = "crowdsky_crowd_questions_total"
+	MetricCrowdRounds       = "crowdsky_crowd_rounds_total"
+	MetricCrowdWorkerUnits  = "crowdsky_crowd_worker_answers_total"
+	MetricCrowdRoundLatency = "crowdsky_crowd_round_latency_seconds"
+)
+
+// InstrumentPlatform wraps inner, registering the crowd metrics on reg.
+// Register at most one instrumented platform per registry (the metric
+// names are fixed; a second registration panics on the duplicate).
+func InstrumentPlatform(inner crowd.Platform, reg *Registry) *InstrumentedPlatform {
+	return &InstrumentedPlatform{
+		inner:         inner,
+		questions:     reg.NewCounter(MetricCrowdQuestions, "Crowd questions asked."),
+		rounds:        reg.NewCounter(MetricCrowdRounds, "Crowd rounds submitted."),
+		workerAnswers: reg.NewCounter(MetricCrowdWorkerUnits, "Individual worker judgments requested."),
+		roundLatency:  reg.NewHistogram(MetricCrowdRoundLatency, "Wall-clock latency of one crowd round."),
+	}
+}
+
+// Ask implements crowd.Platform.
+func (p *InstrumentedPlatform) Ask(reqs []crowd.Request) []crowd.Answer {
+	if len(reqs) == 0 {
+		return nil
+	}
+	start := time.Now()
+	out := p.inner.Ask(reqs)
+	p.roundLatency.Observe(time.Since(start).Seconds())
+	p.rounds.Inc()
+	p.questions.Add(uint64(len(reqs)))
+	answers := 0
+	for _, r := range reqs {
+		w := r.Workers
+		if w < 1 {
+			w = 1
+		}
+		answers += w
+	}
+	p.workerAnswers.Add(uint64(answers))
+	return out
+}
+
+// Stats implements crowd.Platform, delegating to the wrapped platform so
+// the paper-accounting path is untouched.
+func (p *InstrumentedPlatform) Stats() *crowd.Stats { return p.inner.Stats() }
+
+// Unwrap returns the wrapped platform.
+func (p *InstrumentedPlatform) Unwrap() crowd.Platform { return p.inner }

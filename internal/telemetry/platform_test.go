@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"crowdsky/internal/crowd"
+)
+
+// fakePlatform answers First to everything and keeps real accounting.
+type fakePlatform struct {
+	stats crowd.Stats
+}
+
+func (f *fakePlatform) Ask(reqs []crowd.Request) []crowd.Answer {
+	if len(reqs) == 0 {
+		return nil
+	}
+	f.stats.Record(reqs)
+	out := make([]crowd.Answer, len(reqs))
+	for i, r := range reqs {
+		out[i] = crowd.Answer{Q: r.Q, Pref: crowd.First}
+	}
+	return out
+}
+
+func (f *fakePlatform) Stats() *crowd.Stats { return &f.stats }
+
+func TestInstrumentedPlatform(t *testing.T) {
+	reg := NewRegistry()
+	inner := &fakePlatform{}
+	pf := InstrumentPlatform(inner, reg)
+
+	if pf.Ask(nil) != nil {
+		t.Error("empty Ask should return nil")
+	}
+	reqs := []crowd.Request{
+		{Q: crowd.Question{A: 0, B: 1}, Workers: 5},
+		{Q: crowd.Question{A: 2, B: 3}}, // Workers 0 counts as 1
+	}
+	answers := pf.Ask(reqs)
+	if len(answers) != 2 || answers[0].Pref != crowd.First {
+		t.Fatalf("answers not passed through: %+v", answers)
+	}
+	pf.Ask(reqs[:1])
+
+	if pf.rounds.Value() != 2 || pf.questions.Value() != 3 {
+		t.Errorf("rounds/questions = %d/%d, want 2/3", pf.rounds.Value(), pf.questions.Value())
+	}
+	if pf.workerAnswers.Value() != 11 { // 5+1 then 5
+		t.Errorf("worker answers = %d, want 11", pf.workerAnswers.Value())
+	}
+	if pf.roundLatency.Count() != 2 {
+		t.Errorf("latency observations = %d, want 2", pf.roundLatency.Count())
+	}
+	// Empty Ask must not touch the metrics (it consumes no round).
+	pf.Ask(nil)
+	if pf.rounds.Value() != 2 {
+		t.Error("empty Ask counted a round")
+	}
+	// The paper-accounting path is the wrapped platform's, untouched.
+	if pf.Stats() != &inner.stats || pf.Stats().Rounds() != 2 {
+		t.Error("Stats not delegated to the inner platform")
+	}
+	if pf.Unwrap() != crowd.Platform(inner) {
+		t.Error("Unwrap lost the inner platform")
+	}
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		MetricCrowdQuestions + " 3",
+		MetricCrowdRounds + " 2",
+		MetricCrowdWorkerUnits + " 11",
+	} {
+		if !strings.Contains(sb.String(), line+"\n") {
+			t.Errorf("exposition missing %q", line)
+		}
+	}
+}

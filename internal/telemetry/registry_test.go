@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("test_total", "help")
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != goroutines*perG {
+		t.Errorf("counter = %d, want %d", c.Value(), goroutines*perG)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Errorf("count = %d, want 4000", h.Count())
+	}
+	if h.Sum() != 2000 { // 0.5 is exact in binary, so the sum is too
+		t.Errorf("sum = %v, want 2000", h.Sum())
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{0.5, 2})
+	h.Observe(0.25) // below first bound
+	h.Observe(0.5)  // exactly on a bound: le is inclusive
+	h.Observe(4)    // beyond every bound: +Inf
+	counts := []uint64{h.counts[0].Load(), h.counts[1].Load(), h.counts[2].Load()}
+	if counts[0] != 2 || counts[1] != 0 || counts[2] != 1 {
+		t.Errorf("raw bucket counts = %v, want [2 0 1]", counts)
+	}
+	if h.Count() != 3 || h.Sum() != 4.75 {
+		t.Errorf("count/sum = %d/%v, want 3/4.75", h.Count(), h.Sum())
+	}
+}
+
+func TestWriteToGolden(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("b_counter_total", "A counter.")
+	c.Add(7)
+	g := reg.NewGauge("c_gauge", "A gauge.")
+	g.Set(-3)
+	reg.NewGaugeFunc("d_gauge_fn", "A computed gauge.", func() float64 { return 1.5 })
+	h := reg.NewHistogram("a_hist_seconds", "A histogram.", 0.5, 2)
+	h.Observe(0.25)
+	h.Observe(0.5)
+	h.Observe(4)
+	v := reg.NewCounterVec("e_vec_total", "A labelled counter.", "route", "code")
+	v.With("/api/work", "200").Add(2)
+	v.With("/api/work", "404").Inc()
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_hist_seconds A histogram.
+# TYPE a_hist_seconds histogram
+a_hist_seconds_bucket{le="0.5"} 2
+a_hist_seconds_bucket{le="2"} 2
+a_hist_seconds_bucket{le="+Inf"} 3
+a_hist_seconds_sum 4.75
+a_hist_seconds_count 3
+# HELP b_counter_total A counter.
+# TYPE b_counter_total counter
+b_counter_total 7
+# HELP c_gauge A gauge.
+# TYPE c_gauge gauge
+c_gauge -3
+# HELP d_gauge_fn A computed gauge.
+# TYPE d_gauge_fn gauge
+d_gauge_fn 1.5
+# HELP e_vec_total A labelled counter.
+# TYPE e_vec_total counter
+e_vec_total{route="/api/work",code="200"} 2
+e_vec_total{route="/api/work",code="404"} 1
+`
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestHistogramVecExposition(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.NewHistogramVec("h_seconds", "help", []float64{1}, "route")
+	v.With("/a").Observe(0.5)
+	v.With("/a").Observe(3)
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`h_seconds_bucket{route="/a",le="1"} 1`,
+		`h_seconds_bucket{route="/a",le="+Inf"} 2`,
+		`h_seconds_sum{route="/a"} 3.5`,
+		`h_seconds_count{route="/a"} 2`,
+	} {
+		if !strings.Contains(sb.String(), line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, sb.String())
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	key := labelKey([]string{"l"}, []string{"a\\b\"c\nd"})
+	want := `{l="a\\b\"c\nd"}`
+	if key != want {
+		t.Errorf("labelKey = %q, want %q", key, want)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("dup_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	reg.NewCounter("dup_total", "again")
+}
+
+func TestHandlerContentType(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("x_total", "help")
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "# TYPE x_total counter") {
+		t.Errorf("body missing TYPE line:\n%s", rec.Body.String())
+	}
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCollector(t *testing.T) {
+	var c Collector
+	c.Emit(RunStart("crowdsky", 12, 1))
+	c.Emit(P1Prune(3, 5, 2))
+	c.Emit(P2Reduce(3, 2, 1))
+	c.Emit(RunEnd(12, 6, 4))
+
+	events := c.Events()
+	if len(events) != 4 {
+		t.Fatalf("collected %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != i+1 {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if c.Count(EventP1Prune) != 1 || c.Count(EventRoundStart) != 0 {
+		t.Errorf("counts wrong: p1=%d round_start=%d", c.Count(EventP1Prune), c.Count(EventRoundStart))
+	}
+	p1 := c.ByType(EventP1Prune)[0]
+	if p1.Tuple != 3 || p1.Before != 5 || p1.After != 2 || p1.Removed != 3 {
+		t.Errorf("p1 event fields wrong: %+v", p1)
+	}
+	if p1.A != -1 || p1.B != -1 {
+		t.Errorf("unused pair fields should be -1: %+v", p1)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	j := NewJSONL(&sb)
+	j.Emit(RunStart("parallel-sl", 12, 1))
+	j.Emit(RoundStart(1, 4))
+	j.Emit(RoundEnd(1, 4, 1500*time.Microsecond))
+	j.Emit(VoteEscalation(2, 7, 7, 5))
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadEvents(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("read %d events, want 4", len(events))
+	}
+	if events[0].Type != EventRunStart || events[0].Algo != "parallel-sl" || events[0].N != 12 {
+		t.Errorf("run_start wrong: %+v", events[0])
+	}
+	if events[1].Seq != 2 || events[2].Seq != 3 {
+		t.Errorf("sequence numbers wrong: %d, %d", events[1].Seq, events[2].Seq)
+	}
+	if events[2].DurationMS != 1.5 {
+		t.Errorf("duration = %v ms, want 1.5", events[2].DurationMS)
+	}
+	if ve := events[3]; ve.A != 2 || ve.B != 7 || ve.Workers != 7 || ve.Base != 5 {
+		t.Errorf("vote_escalation wrong: %+v", ve)
+	}
+	if events[0].Time.IsZero() {
+		t.Error("emitted event not timestamped")
+	}
+}
+
+func TestReadEventsToleratesTornFinalLine(t *testing.T) {
+	var sb strings.Builder
+	j := NewJSONL(&sb)
+	j.Emit(RoundStart(1, 2))
+	j.Emit(RoundStart(2, 2))
+	torn := sb.String()
+	torn = torn[:len(torn)-10] // cut mid-way into the final line
+	events, err := ReadEvents(strings.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Errorf("read %d events from torn stream, want 1", len(events))
+	}
+	// Malformed content before the end is an error, not silently dropped.
+	if _, err := ReadEvents(strings.NewReader("garbage\n" + sb.String())); err == nil {
+		t.Error("mid-stream garbage not rejected")
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi(nil, nil) != nil {
+		t.Error("Multi of nils should be nil")
+	}
+	var a, b Collector
+	if Multi(&a, nil) != Tracer(&a) {
+		t.Error("Multi with one live member should return the member")
+	}
+	m := Multi(&a, &b)
+	m.Emit(RoundStart(1, 1))
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Errorf("fan-out failed: %d, %d", len(a.Events()), len(b.Events()))
+	}
+}
