@@ -1,0 +1,68 @@
+// Command skylint is the repository's static-analysis gate: it runs the
+// five CrowdSky-specific analyzers of internal/lint (guardedby, detrange,
+// niltrace, floateq, errdrop) and, by default, `go vet`, over the given
+// package patterns. A non-empty finding set exits 1, so CI can require it:
+//
+//	go run ./cmd/skylint ./...
+//
+// Flags:
+//
+//	-novet      skip the go vet pass (the analyzers still run)
+//	-list       print the analyzers and exit
+//
+// Findings are file:line:col-prefixed, one per line. See
+// docs/STATIC_ANALYSIS.md for what each analyzer enforces and how to
+// suppress a finding with a `skylint:ignore` comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"crowdsky/internal/lint"
+)
+
+func main() {
+	novet := flag.Bool("novet", false, "skip the go vet pass")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+	if !*novet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			if _, ok := err.(*exec.ExitError); !ok {
+				fmt.Fprintf(os.Stderr, "skylint: running go vet: %v\n", err)
+			}
+			failed = true
+		}
+	}
+
+	findings, err := lint.Run(".", patterns, lint.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skylint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 || failed {
+		os.Exit(1)
+	}
+}

@@ -223,7 +223,7 @@ func (ss *session) seedStoredValues() {
 		g := ss.graphs[j]
 		for k := 1; k < len(stored); k++ {
 			prev, cur := stored[k-1], stored[k]
-			if d.Latent(prev, j) == d.Latent(cur, j) {
+			if skyline.EqEps(d.Latent(prev, j), d.Latent(cur, j)) {
 				g.AddEqual(prev, cur)
 			} else {
 				g.AddPrefer(prev, cur)

@@ -118,14 +118,14 @@ const DefaultReward = 0.02
 // accounting while rounds record. The zero value is ready to use.
 type Stats struct {
 	mu            sync.Mutex
-	questions     int         // total questions asked
-	rounds        int         // total non-empty Ask calls
-	workerAnswers int         // total individual worker judgments collected
-	perRound      []RoundStat // per-round breakdown, in order
+	questions     int         // skylint:guardedby mu — total questions asked
+	rounds        int         // skylint:guardedby mu — total non-empty Ask calls
+	workerAnswers int         // skylint:guardedby mu — total individual worker judgments
+	perRound      []RoundStat // skylint:guardedby mu — per-round breakdown, in order
 
 	// byWorkers counts questions per assigned worker count across the
 	// whole run, for the HIT-packed cost model.
-	byWorkers map[int]int
+	byWorkers map[int]int // skylint:guardedby mu
 }
 
 // Snapshot is a consistent point-in-time copy of a run's accounting.

@@ -155,7 +155,11 @@ func (c *Client) getRound(id int64) (bool, []AnswerJSON, error) {
 	return out.Done, out.Answers, nil
 }
 
+// drainClose consumes the rest of a response body so the HTTP transport
+// can reuse the connection. Failures here are unactionable — the response
+// was already decoded (or rejected) by the caller, and the worst outcome
+// is one lost keep-alive connection.
 func drainClose(rc io.ReadCloser) {
-	_, _ = io.Copy(io.Discard, rc)
-	_ = rc.Close()
+	_, _ = io.Copy(io.Discard, rc) // skylint:ignore errdrop best-effort drain for connection reuse
+	_ = rc.Close()                 // skylint:ignore errdrop read side already consumed; nothing to recover
 }

@@ -2,9 +2,11 @@ package crowdserve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"crowdsky/internal/crowd"
 )
@@ -60,7 +62,16 @@ func (s *Server) Snapshot(w io.Writer) error {
 			snap.PerWorker[id] = n
 		}
 	}
-	for _, rd := range s.rounds {
+	// Iterate rounds in ascending id order: snapshots must be byte-stable
+	// for identical state (the detrange contract), so backups can be
+	// diffed and tests can compare files.
+	roundIDs := make([]int64, 0, len(s.rounds))
+	for id := range s.rounds {
+		roundIDs = append(roundIDs, id)
+	}
+	sort.Slice(roundIDs, func(i, j int) bool { return roundIDs[i] < roundIDs[j] })
+	for _, id := range roundIDs {
+		rd := s.rounds[id]
 		rs := roundSnapshot{
 			ID:        rd.id,
 			Questions: rd.questions,
@@ -78,13 +89,20 @@ func (s *Server) Snapshot(w io.Writer) error {
 		snap.Rounds = append(snap.Rounds, rs)
 	}
 	// Open queue plus currently leased assignments (leases are dropped).
+	// Leased assignments are appended in ascending id order for the same
+	// byte-stability; the queue keeps its FIFO order.
 	for _, a := range s.queue {
 		snap.Open = append(snap.Open, assignSnap{ID: a.id, RoundID: a.roundID, QIndex: a.qIndex})
 	}
+	leased := make([]*assignment, 0, len(s.leased))
 	for _, a := range s.leased {
 		if !a.done {
-			snap.Open = append(snap.Open, assignSnap{ID: a.id, RoundID: a.roundID, QIndex: a.qIndex})
+			leased = append(leased, a)
 		}
+	}
+	sort.Slice(leased, func(i, j int) bool { return leased[i].id < leased[j].id })
+	for _, a := range leased {
+		snap.Open = append(snap.Open, assignSnap{ID: a.id, RoundID: a.roundID, QIndex: a.qIndex})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -156,20 +174,23 @@ func (s *Server) Restore(r io.Reader) error {
 	return nil
 }
 
-// SaveFile writes a snapshot atomically (temp file + rename).
+// SaveFile writes a snapshot atomically (temp file + rename). Every step
+// reports its error — a silently half-written snapshot would lose paid
+// crowd judgments on the next restart.
 func (s *Server) SaveFile(path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := s.Snapshot(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+	err = s.Snapshot(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+	if err != nil {
+		if rerr := os.Remove(tmp); rerr != nil {
+			err = errors.Join(err, rerr)
+		}
 		return err
 	}
 	return os.Rename(tmp, path)
@@ -185,6 +206,9 @@ func (s *Server) LoadFile(path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return s.Restore(f)
+	err = s.Restore(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

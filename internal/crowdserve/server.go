@@ -29,6 +29,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -98,17 +99,17 @@ type round struct {
 // Server is the marketplace state plus its HTTP handler.
 type Server struct {
 	mu          sync.Mutex
-	nextRoundID int64
-	nextAssign  int64
-	rounds      map[int64]*round
-	queue       []*assignment // open assignments in FIFO order
-	leased      map[int64]*assignment
-	lease       time.Duration
+	nextRoundID int64                 // skylint:guardedby mu
+	nextAssign  int64                 // skylint:guardedby mu
+	rounds      map[int64]*round      // skylint:guardedby mu
+	queue       []*assignment         // skylint:guardedby mu — open assignments in FIFO order
+	leased      map[int64]*assignment // skylint:guardedby mu
+	lease       time.Duration         // skylint:guardedby mu
 	now         func() time.Time
 
-	judgments int
-	requeues  int            // assignments returned to the queue after a lapsed lease
-	perWorker map[string]int // judgments submitted per worker id
+	judgments int            // skylint:guardedby mu
+	requeues  int            // skylint:guardedby mu — assignments requeued after a lapsed lease
+	perWorker map[string]int // skylint:guardedby mu — judgments submitted per worker id
 
 	// Telemetry: the registry backs GET /metrics; the counters mirror the
 	// mutex-guarded accounting above so dashboards can scrape without
@@ -119,6 +120,7 @@ type Server struct {
 	mQuestions *telemetry.Counter
 	mJudgments *telemetry.Counter
 	mRequeues  *telemetry.Counter
+	mWriteErrs *telemetry.Counter
 }
 
 // NewServer creates an empty marketplace with the default lease.
@@ -136,6 +138,7 @@ func NewServer() *Server {
 	s.mQuestions = s.reg.NewCounter("crowdserve_questions_total", "Questions posted across all rounds.")
 	s.mJudgments = s.reg.NewCounter("crowdserve_judgments_total", "Worker judgments accepted.")
 	s.mRequeues = s.reg.NewCounter("crowdserve_lease_requeues_total", "Assignments requeued after a lapsed lease.")
+	s.mWriteErrs = s.reg.NewCounter("crowdserve_response_write_errors_total", "Responses that failed to encode or send (client gone, broken pipe).")
 	s.reg.NewGaugeFunc("crowdserve_open_assignments", "Assignments currently queued or leased.", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -172,14 +175,21 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON sends a JSON response. The status line is already on the wire
+// when Encode runs, so an encode failure cannot change the response — but
+// it must not vanish either: it means a worker or requester received a
+// truncated body (client disconnect, broken pipe), which shows up as the
+// crowdserve_response_write_errors_total counter for dashboards to alarm on.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.mWriteErrs.Inc()
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, map[string]string{"error": msg})
 }
 
 func (s *Server) handlePostRound(w http.ResponseWriter, r *http.Request) {
@@ -187,11 +197,11 @@ func (s *Server) handlePostRound(w http.ResponseWriter, r *http.Request) {
 		Questions []QuestionJSON `json:"questions"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
 	if len(body.Questions) == 0 {
-		writeError(w, http.StatusBadRequest, "round has no questions")
+		s.writeError(w, http.StatusBadRequest, "round has no questions")
 		return
 	}
 	s.mu.Lock()
@@ -227,21 +237,21 @@ func (s *Server) handlePostRound(w http.ResponseWriter, r *http.Request) {
 	s.rounds[rd.id] = rd
 	s.mRounds.Inc()
 	s.mQuestions.Add(uint64(len(body.Questions)))
-	writeJSON(w, http.StatusCreated, map[string]int64{"round_id": rd.id})
+	s.writeJSON(w, http.StatusCreated, map[string]int64{"round_id": rd.id})
 }
 
 func (s *Server) handleGetRound(w http.ResponseWriter, r *http.Request) {
 	idStr := strings.TrimPrefix(r.URL.Path, "/api/rounds/")
 	id, err := strconv.ParseInt(idStr, 10, 64)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid round id")
+		s.writeError(w, http.StatusBadRequest, "invalid round id")
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rd, ok := s.rounds[id]
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown round")
+		s.writeError(w, http.StatusNotFound, "unknown round")
 		return
 	}
 	type resp struct {
@@ -249,7 +259,7 @@ func (s *Server) handleGetRound(w http.ResponseWriter, r *http.Request) {
 		Answers []AnswerJSON `json:"answers,omitempty"`
 	}
 	if rd.remaining > 0 {
-		writeJSON(w, http.StatusOK, resp{Done: false})
+		s.writeJSON(w, http.StatusOK, resp{Done: false})
 		return
 	}
 	out := resp{Done: true}
@@ -259,13 +269,13 @@ func (s *Server) handleGetRound(w http.ResponseWriter, r *http.Request) {
 			Pref: prefString(crowd.MajorityVote(rd.votes[i])),
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleGetWork(w http.ResponseWriter, r *http.Request) {
 	worker := r.URL.Query().Get("worker")
 	if worker == "" {
-		writeError(w, http.StatusBadRequest, "missing worker id")
+		s.writeError(w, http.StatusBadRequest, "missing worker id")
 		return
 	}
 	s.mu.Lock()
@@ -281,7 +291,7 @@ func (s *Server) handleGetWork(w http.ResponseWriter, r *http.Request) {
 		a.leaseExpiry = s.now().Add(s.lease)
 		s.leased[a.id] = a
 		s.queue = append(s.queue[:i], s.queue[i+1:]...)
-		writeJSON(w, http.StatusOK, map[string]any{
+		s.writeJSON(w, http.StatusOK, map[string]any{
 			"assignment_id": a.id,
 			"a":             a.question.A,
 			"b":             a.question.B,
@@ -307,16 +317,24 @@ func (s *Server) workerHasQuestionLocked(worker string, a *assignment) bool {
 }
 
 // reapExpiredLocked requeues leased assignments whose lease lapsed.
+// Expired assignments re-enter the queue in ascending id order so the
+// marketplace hands out work deterministically for identical state (map
+// iteration order would shuffle them).
 func (s *Server) reapExpiredLocked() {
 	now := s.now()
-	for id, a := range s.leased {
+	var expired []*assignment
+	for _, a := range s.leased {
 		if !a.done && a.leaseExpiry.Before(now) {
-			a.leasedTo = ""
-			delete(s.leased, id)
-			s.queue = append(s.queue, a)
-			s.requeues++
-			s.mRequeues.Inc()
+			expired = append(expired, a)
 		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i].id < expired[j].id })
+	for _, a := range expired {
+		a.leasedTo = ""
+		delete(s.leased, a.id)
+		s.queue = append(s.queue, a)
+		s.requeues++
+		s.mRequeues.Inc()
 	}
 }
 
@@ -327,23 +345,23 @@ func (s *Server) handlePostAnswer(w http.ResponseWriter, r *http.Request) {
 		Pref         string `json:"pref"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
 	pref, err := parsePref(body.Pref)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	a, ok := s.leased[body.AssignmentID]
 	if !ok || a.done {
-		writeError(w, http.StatusConflict, "assignment not leased (expired or already answered)")
+		s.writeError(w, http.StatusConflict, "assignment not leased (expired or already answered)")
 		return
 	}
 	if a.leasedTo != body.Worker {
-		writeError(w, http.StatusForbidden, "assignment leased to another worker")
+		s.writeError(w, http.StatusForbidden, "assignment leased to another worker")
 		return
 	}
 	a.done = true
@@ -355,7 +373,7 @@ func (s *Server) handlePostAnswer(w http.ResponseWriter, r *http.Request) {
 	s.judgments++
 	s.perWorker[body.Worker]++
 	s.mJudgments.Inc()
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -371,7 +389,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for id, n := range s.perWorker {
 		byWorker[id] = n
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"rounds":              len(s.rounds),
 		"questions":           questions,
 		"judgments":           s.judgments,

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"crowdsky/internal/lint/analysis"
+)
+
+// DetRange guards the determinism contracts: the |DS|-ascending evaluation
+// order of Lemma 3 / Corollary 1, reproducible experiment tables, stable
+// marketplace snapshots and stable metrics exposition. Go's map iteration
+// order is deliberately randomized, so a `range` over a map whose body
+// appends to a slice produces a differently-ordered slice on every run —
+// the classic way to silently break all of the above.
+//
+// The analyzer flags such loops in the deterministic components (core,
+// skyline, experiments, crowdserve, telemetry) unless the enclosing
+// function visibly restores determinism with a sort (any call into the
+// sort or slices packages after the loop starts). Loops that only
+// aggregate (sum, count, write into another map) are order-insensitive and
+// not flagged.
+var DetRange = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "range over a map feeding append in deterministic algorithm paths " +
+		"must be followed by a sort (map iteration order is randomized)",
+	Run: runDetRange,
+}
+
+func runDetRange(pass *analysis.Pass) error {
+	if !inScope(pass.PkgPath, pass.Pkg.Name(), "core", "skyline", "experiments", "crowdserve", "telemetry") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDetRangeInFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkDetRangeInFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Sort calls anywhere in the function, by position; a sort at or after
+	// the loop's start restores a deterministic order for its output.
+	var sortPos []token.Pos
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && (id.Name == "sort" || id.Name == "slices") {
+				sortPos = append(sortPos, call.Pos())
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := pass.TypeOf(rs.X).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if !bodyAppends(rs.Body) {
+			return true
+		}
+		for _, sp := range sortPos {
+			if sp >= rs.Pos() {
+				return true // sorted afterwards: deterministic again
+			}
+		}
+		pass.Reportf(rs.Pos(),
+			"range over map %s feeds append: iteration order is randomized, breaking the deterministic-order contract; sort the keys first or sort the result",
+			analysis.ExprString(rs.X))
+		return true
+	})
+}
+
+// bodyAppends reports whether the loop body contains a call to the
+// builtin append — the signature of building an ordered slice from the
+// iteration.
+func bodyAppends(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"crowdsky/internal/lint/analysis"
+)
+
+// ErrDrop forbids silently discarding errors in the marketplace
+// (package crowdserve): HTTP handlers and the persistence paths hold
+// judgments that cost real money to collect, so a swallowed encode/write
+// error means losing paid crowd work without a trace. Flagged forms:
+//
+//   - a statement calling a function whose results include an error,
+//     with all results discarded (including `defer f()`), and
+//   - an assignment binding an error result to the blank identifier.
+//
+// Deliberate best-effort drops (draining an HTTP body, cleanup on an
+// already-failing path) carry a `skylint:ignore errdrop <reason>` comment.
+var ErrDrop = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc: "crowdserve handlers and persistence paths must not discard " +
+		"errors (annotate deliberate drops with skylint:ignore errdrop)",
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *analysis.Pass) error {
+	if !inScope(pass.PkgPath, pass.Pkg.Name(), "crowdserve") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, call)
+				}
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, n.Call)
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscardedCall flags a call statement whose results include an
+// error, since a bare call statement discards every result.
+func checkDiscardedCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if hasErrResult(pass, call) {
+		pass.Reportf(call.Pos(),
+			"call to %s discards its error result", analysis.ExprString(call.Fun))
+	}
+}
+
+// checkBlankErrAssign flags `_ = <error expr>` and `x, _ := f()` where
+// the blanked result has error type.
+func checkBlankErrAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	// Single call with multiple results: a, _ := f().
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tuple, ok := pass.TypeOf(call).(*types.Tuple)
+		if !ok || tuple.Len() != len(as.Lhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				pass.Reportf(lhs.Pos(),
+					"error result of %s assigned to the blank identifier", analysis.ExprString(call.Fun))
+			}
+		}
+		return
+	}
+	// Position-wise assignments: _ = expr.
+	for i, lhs := range as.Lhs {
+		if !isBlank(lhs) || i >= len(as.Rhs) {
+			continue
+		}
+		if t := pass.TypeOf(as.Rhs[i]); t != nil && isErrorType(t) {
+			pass.Reportf(lhs.Pos(), "error value assigned to the blank identifier")
+		}
+	}
+}
+
+// hasErrResult reports whether the call's result signature includes an
+// error.
+func hasErrResult(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch t := pass.TypeOf(call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+	case nil:
+	default:
+		return isErrorType(t)
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

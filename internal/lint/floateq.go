@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+
+	"crowdsky/internal/lint/analysis"
+)
+
+// FloatEq forbids == and != between floating-point values in dominance
+// code (packages core and skyline). Attribute values flow through CSV
+// parsing, synthetic generators and arithmetic, so exact float equality
+// silently misclassifies "equal" tuples — which feeds straight into the
+// degenerate-case preprocessing of Algorithm 1 and the stored-value
+// seeding, where a wrong equality verdict changes which crowd questions
+// are asked. Use the epsilon comparator skyline.EqEps instead.
+var FloatEq = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "float ==/!= is forbidden in dominance code; use the epsilon " +
+		"comparator skyline.EqEps",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *analysis.Pass) error {
+	if !inScope(pass.PkgPath, pass.Pkg.Name(), "core", "skyline") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pass.TypeOf(be.X), pass.TypeOf(be.Y)
+			if xt == nil || yt == nil || !analysis.IsFloat(xt) || !analysis.IsFloat(yt) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"float %s comparison in dominance code: exact equality misclassifies near-equal attribute values; use skyline.EqEps",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}

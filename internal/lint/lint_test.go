@@ -1,0 +1,41 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"crowdsky/internal/lint"
+	"crowdsky/internal/lint/analysistest"
+)
+
+// TestAnalyzerFixtures runs every registered analyzer over its fixture
+// directory: the registry and the fixture set are forced to stay in sync
+// (an analyzer without testdata/<name> fails its subtest).
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, a := range lint.All() {
+		t.Run(a.Name, func(t *testing.T) {
+			analysistest.Run(t, filepath.Join("testdata", a.Name), a)
+		})
+	}
+}
+
+// TestAnalyzerRegistry pins the analyzer set: removing one from All()
+// silently removes a correctness contract from CI.
+func TestAnalyzerRegistry(t *testing.T) {
+	want := []string{"guardedby", "detrange", "niltrace", "floateq", "errdrop"}
+	all := lint.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package loader loads and type-checks Go packages for the skylint
+// analyzers without golang.org/x/tools: package enumeration shells out to
+// "go list -json" (the toolchain is the one dependency the repository
+// already requires) and type checking uses the standard library's source
+// importer, which resolves both standard-library and module-local imports
+// from source, fully offline.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+}
+
+// Load enumerates the packages matching patterns (e.g. "./...") relative
+// to dir, parses their non-test sources and type-checks them. All packages
+// share one FileSet and one source importer, so the standard library is
+// type-checked once per process, not once per package.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	entries, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var out []*Package
+	for _, e := range entries {
+		pkg, err := loadOne(fset, imp, e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses every .go file directly inside dir as one package and
+// type-checks it with a fresh source importer. Used by the analysistest
+// fixture runner, where fixtures are plain directories outside the module
+// package graph. pkgPath becomes the package's reported import path.
+func LoadDir(dir, pkgPath string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("loader: no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	return typecheck(fset, imp, pkgPath, "", matches)
+}
+
+func goList(dir string, patterns []string) ([]listEntry, error) {
+	args := append([]string{"list", "-json=ImportPath,Name,Dir,GoFiles,CgoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("loader: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var entries []listEntry
+	for dec.More() {
+		var e listEntry
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+func loadOne(fset *token.FileSet, imp types.Importer, e listEntry) (*Package, error) {
+	if len(e.CgoFiles) > 0 {
+		return nil, fmt.Errorf("loader: package %s uses cgo, which skylint does not support", e.ImportPath)
+	}
+	files := make([]string, len(e.GoFiles))
+	for i, f := range e.GoFiles {
+		files[i] = filepath.Join(e.Dir, f)
+	}
+	return typecheck(fset, imp, e.ImportPath, e.Dir, files)
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, pkgPath, dir string, files []string) (*Package, error) {
+	var asts []*ast.File
+	for _, f := range files {
+		parsed, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %v", err)
+		}
+		asts = append(asts, parsed)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, err := conf.Check(pkgPath, fset, asts, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("loader: type errors in %s:\n  %s", pkgPath, strings.Join(typeErrs, "\n  "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %v", pkgPath, err)
+	}
+	name := tpkg.Name()
+	return &Package{PkgPath: pkgPath, Name: name, Dir: dir, Fset: fset, Files: asts, Pkg: tpkg, Info: info}, nil
+}

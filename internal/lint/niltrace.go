@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"crowdsky/internal/lint/analysis"
+)
+
+// NilTrace keeps trace emission nil-safe: Options.Tracer is nil for every
+// untraced run (the documented "disabled at the cost of one pointer
+// comparison" contract), so calling Emit on a Tracer-typed expression
+// without first proving it non-nil is a latent panic on the untraced hot
+// path — precisely where tests with tracing enabled never go.
+//
+// A call x.Emit(...) on an expression whose static type is the Tracer
+// interface is accepted when
+//
+//   - it sits inside an `if x != nil { ... }` body (possibly conjoined
+//     with other conditions), or
+//   - an earlier `if x == nil { return/panic }` guard dominates it, or
+//   - the call goes through the nil-safe helper telemetry.Emit (a plain
+//     function call, which this analyzer does not match).
+//
+// Concrete tracer implementations (e.g. *telemetry.Collector) have
+// non-nil method sets of their own and are not flagged.
+var NilTrace = &analysis.Analyzer{
+	Name: "niltrace",
+	Doc: "Emit calls on Tracer-typed values must be nil-guarded or use the " +
+		"nil-safe telemetry.Emit helper",
+	Run: runNilTrace,
+}
+
+func runNilTrace(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkNilTraceInFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// nilGuard is one region of the function where expr is known non-nil.
+type nilGuard struct {
+	expr     string
+	from, to token.Pos
+}
+
+func checkNilTraceInFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var guards []nilGuard
+	ast.Inspect(fd, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		// `if x != nil { body }`: x is non-nil inside the body.
+		for _, e := range nilComparisons(ifs.Cond, token.NEQ) {
+			guards = append(guards, nilGuard{expr: e, from: ifs.Body.Pos(), to: ifs.Body.End()})
+		}
+		// `if x == nil { return }`: x is non-nil after the statement.
+		if blockDiverges(ifs.Body) {
+			for _, e := range nilComparisons(ifs.Cond, token.EQL) {
+				guards = append(guards, nilGuard{expr: e, from: ifs.End(), to: fd.End()})
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Emit" {
+			return true
+		}
+		if !isTracerInterface(pass.TypeOf(sel.X)) {
+			return true
+		}
+		recv := analysis.ExprString(sel.X)
+		for _, g := range guards {
+			if g.expr == recv && g.from <= call.Pos() && call.Pos() < g.to {
+				return true
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"%s.Emit called without a nil guard: %s has interface type Tracer and is nil for untraced runs; wrap in `if %s != nil` or use telemetry.Emit",
+			recv, recv, recv)
+		return true
+	})
+}
+
+// nilComparisons returns the rendered expressions compared against nil
+// with the given operator anywhere inside cond (through && / || / parens).
+func nilComparisons(cond ast.Expr, op token.Token) []string {
+	var out []string
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != op {
+			return true
+		}
+		if isNilIdent(be.Y) {
+			out = append(out, analysis.ExprString(be.X))
+		} else if isNilIdent(be.X) {
+			out = append(out, analysis.ExprString(be.Y))
+		}
+		return true
+	})
+	return out
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// blockDiverges reports whether the block's last statement leaves the
+// enclosing scope (return, panic, continue, break, goto), making an
+// `== nil` check an early-exit guard.
+func blockDiverges(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	default:
+		return false
+	}
+}
+
+// isTracerInterface reports whether t is an interface type named Tracer
+// (the telemetry.Tracer contract, or a fixture-local equivalent).
+func isTracerInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named := analysis.NamedOf(t)
+	if named == nil || named.Obj().Name() != "Tracer" {
+		return false
+	}
+	_, isIface := named.Underlying().(*types.Interface)
+	return isIface
+}

@@ -1,0 +1,56 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdsky/internal/dataset"
+)
+
+// FuzzDifferential feeds randomized dataset shapes through the full
+// differential harness: every pruning combination of every scheme, plus
+// the sort-based baseline, must reproduce the brute-force skyline. The
+// fuzzer explores the shape space (cardinality, dimensionalities,
+// distribution, generator seed); sizes are clamped so one input stays
+// well under a second even though it runs 25 full algorithm executions.
+func FuzzDifferential(f *testing.F) {
+	f.Add(8, 2, 1, 0, int64(1))
+	f.Add(12, 2, 2, 1, int64(2))
+	f.Add(16, 3, 2, 2, int64(3))
+	f.Add(1, 1, 1, 0, int64(4))
+	f.Add(24, 1, 3, 1, int64(5))
+	f.Fuzz(func(t *testing.T, n, known, crowdDims, dist int, seed int64) {
+		n = clamp(n, 0, 24)
+		known = clamp(known, 1, 4)
+		crowdDims = clamp(crowdDims, 0, 3)
+		distribution := []dataset.Distribution{
+			dataset.Independent, dataset.AntiCorrelated, dataset.Correlated,
+		}[abs(dist)%3]
+		d, err := dataset.Generate(dataset.GenerateConfig{
+			N: n, KnownDims: known, CrowdDims: crowdDims, Distribution: distribution,
+		}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		if err := Differential(d); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

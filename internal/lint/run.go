@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"crowdsky/internal/lint/analysis"
+	"crowdsky/internal/lint/loader"
+)
+
+// Finding is one diagnostic with its resolved source position.
+type Finding struct {
+	Position string // file:line:col
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}
+
+// RunPackage runs the given analyzers over one loaded package and returns
+// the surviving (non-suppressed) findings sorted by position.
+func RunPackage(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			PkgPath:  pkg.PkgPath,
+			Info:     pkg.Info,
+		}
+		pass.BuildIgnores()
+		pass.SetReporter(func(d analysis.Diagnostic) {
+			findings = append(findings, Finding{
+				Position: pkg.Fset.Position(d.Pos).String(),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		})
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Position != findings[j].Position {
+			return findings[i].Position < findings[j].Position
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// Run loads the packages matching patterns under dir and runs every
+// analyzer over each, returning all findings in package order.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	pkgs, err := loader.Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []Finding
+	for _, pkg := range pkgs {
+		fs, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	return all, nil
+}

@@ -1,0 +1,47 @@
+// Fixture for the detrange analyzer. The package is named "core" so the
+// analyzer treats it as a deterministic component.
+package core
+
+import "sort"
+
+func bad(m map[int]string) []int {
+	var keys []int
+	for k := range m { // want `range over map m feeds append`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedAfter(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func aggregateOnly(m map[int]string) int {
+	total := 0
+	for range m {
+		total++
+	}
+	return total
+}
+
+func overSlice(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+
+func suppressed(m map[int]string) []string {
+	var vals []string
+	// skylint:ignore detrange order does not matter for this probe
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	return vals
+}

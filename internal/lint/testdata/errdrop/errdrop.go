@@ -1,0 +1,48 @@
+// Fixture for the errdrop analyzer. The package is named "crowdserve" so
+// the analyzer treats it as marketplace code.
+package crowdserve
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func pure() int { return 1 }
+
+func bareCall() {
+	mayFail() // want `discards its error result`
+}
+
+func deferredCall() {
+	defer mayFail() // want `discards its error result`
+}
+
+func blanked() {
+	_ = mayFail() // want `error value assigned to the blank identifier`
+}
+
+func tupleBlank() int {
+	n, _ := pair() // want `error result of pair assigned to the blank identifier`
+	return n
+}
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func tupleHandled() (int, error) {
+	n, err := pair()
+	return n, err
+}
+
+func noError() {
+	pure()
+}
+
+func suppressed() {
+	_ = mayFail() // skylint:ignore errdrop best-effort cleanup on a failing path
+}

@@ -1,0 +1,27 @@
+// Fixture for the floateq analyzer. The package is named "skyline" so the
+// analyzer treats it as dominance code.
+package skyline
+
+func bad(a, b float64) bool {
+	return a == b // want `float == comparison`
+}
+
+func alsoBad(a, b float32) bool {
+	return a != b // want `float != comparison`
+}
+
+func ordered(a, b float64) bool {
+	return a < b
+}
+
+func ints(a, b int) bool {
+	return a == b
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want `float == comparison`
+}
+
+func suppressed(a, b float64) bool {
+	return a == b // skylint:ignore floateq comparing sentinel bit patterns
+}

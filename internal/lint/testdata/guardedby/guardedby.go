@@ -1,0 +1,51 @@
+// Fixture for the guardedby analyzer: accesses to annotated fields must
+// follow a Lock/RLock on the named mutex within the same function, with
+// the *Locked-suffix caller-holds-the-lock exemption.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // skylint:guardedby mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) bad() int {
+	return c.n // want `n is guarded by "mu"`
+}
+
+func (c *counter) badWrite() {
+	c.n = 0 // want `n is guarded by "mu"`
+}
+
+func (c *counter) resetLocked() {
+	c.n = 0
+}
+
+func (c *counter) suppressed() int {
+	// skylint:ignore guardedby single-goroutine test helper
+	return c.n
+}
+
+type rw struct {
+	mu sync.RWMutex
+	m  map[string]int // skylint:guardedby mu
+}
+
+func (r *rw) get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+type wrong struct {
+	n int // skylint:guardedby lock // want `no such field`
+}
+
+func use(w *wrong) int { return w.n }

@@ -34,7 +34,7 @@ func DominatesKnown(d *dataset.Dataset, s, t int) bool {
 func EqualKnown(d *dataset.Dataset, s, t int) bool {
 	sr, tr := d.KnownRow(s), d.KnownRow(t)
 	for j := range sr {
-		if sr[j] != tr[j] {
+		if !EqEps(sr[j], tr[j]) {
 			return false
 		}
 	}

@@ -1,0 +1,19 @@
+package skyline
+
+import "math"
+
+// Eps is the tolerance under which two attribute values are considered
+// equal. Attribute values flow through CSV parsing, synthetic generators
+// and float arithmetic, so exact == misclassifies values that differ only
+// in the last few bits; the paper's semantics ("identical values on every
+// known attribute", Algorithm 1 lines 1-3) intend value equality, not bit
+// equality. The tolerance is absolute: attribute values in this
+// repository are either raw dataset units or normalized to [0, 1], and
+// 1e-9 sits far below any meaningful attribute difference in both.
+const Eps = 1e-9
+
+// EqEps reports a == b within the Eps tolerance — the only sanctioned
+// float equality in dominance code (the floateq analyzer forbids ==/!=).
+func EqEps(a, b float64) bool {
+	return math.Abs(a-b) <= Eps
+}

@@ -17,8 +17,8 @@ import (
 type JSONL struct {
 	mu  sync.Mutex
 	w   io.Writer
-	seq int
-	err error
+	seq int   // skylint:guardedby mu
+	err error // skylint:guardedby mu
 }
 
 // NewJSONL wraps w as a JSONL tracer.

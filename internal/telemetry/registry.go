@@ -105,7 +105,7 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 type CounterVec struct {
 	labels   []string
 	mu       sync.Mutex
-	children map[string]*Counter
+	children map[string]*Counter // skylint:guardedby mu
 }
 
 // With returns the counter for the given label values (one per label name,
@@ -127,7 +127,7 @@ type HistogramVec struct {
 	labels   []string
 	bounds   []float64
 	mu       sync.Mutex
-	children map[string]*Histogram
+	children map[string]*Histogram // skylint:guardedby mu
 }
 
 // With returns the histogram for the given label values, creating it on
@@ -193,7 +193,7 @@ type family struct {
 // error worth failing loudly on.
 type Registry struct {
 	mu       sync.Mutex
-	families map[string]*family
+	families map[string]*family // skylint:guardedby mu
 }
 
 // NewRegistry returns an empty registry.
