@@ -1,0 +1,203 @@
+// Command bench is the perf-trajectory harness for the machine part: it
+// times the dominance constructions — the row-scan kernels and the
+// columnar index that replaced them on the hot path — across dataset
+// cardinalities and writes the measurements as JSON, so any two PRs can
+// be compared by diffing their checked-in BENCH_*.json files.
+//
+//	go run ./cmd/bench -out BENCH_PR4.json
+//	go run ./cmd/bench -quick -out bench-smoke.json   # CI smoke, n=1000 only
+//	go run ./cmd/bench -sizes 1000,10000 -out -       # custom sizes, stdout
+//
+// Each op is measured with testing.Benchmark (standard ns/op, B/op,
+// allocs/op semantics). The *_scan ops are the pre-index kernels kept in
+// internal/skyline as references; the *_index ops include the index build
+// in every iteration, so scan-vs-index rows are an end-to-end
+// before/after comparison at equal work. See docs/PERFORMANCE.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"crowdsky/internal/dataset"
+	"crowdsky/internal/skyline"
+)
+
+// result is one (op, n) measurement.
+type result struct {
+	Op          string  `json:"op"`
+	N           int     `json:"n"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// report is the file schema. Environment fields make cross-machine diffs
+// honest: only compare files with matching cpu/go fields.
+type report struct {
+	Schema    string   `json:"schema"`
+	Generated string   `json:"generated"`
+	Go        string   `json:"go"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Sizes     []int    `json:"sizes"`
+	Results   []result `json:"results"`
+}
+
+// op is one machine-part construction under measurement.
+type op struct {
+	name  string
+	bench func(d *dataset.Dataset) func(b *testing.B)
+}
+
+func ops() []op {
+	return []op{
+		{"index_build", func(d *dataset.Dataset) func(*testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					skyline.NewIndex(d)
+				}
+			}
+		}},
+		{"dominating_sets_scan", func(d *dataset.Dataset) func(*testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					skyline.DominatingSetsParallel(d)
+				}
+			}
+		}},
+		{"dominating_sets_index", func(d *dataset.Dataset) func(*testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					skyline.NewIndex(d).DominatingSets()
+				}
+			}
+		}},
+		{"immediate_dominators_scan", func(d *dataset.Dataset) func(*testing.B) {
+			return func(b *testing.B) {
+				sets := skyline.DominatingSetsParallel(d)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					skyline.ImmediateDominatorsParallel(d, sets)
+				}
+			}
+		}},
+		{"immediate_dominators_index", func(d *dataset.Dataset) func(*testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					skyline.NewIndex(d).ImmediateDominators()
+				}
+			}
+		}},
+		{"oracle_skyline_scan", func(d *dataset.Dataset) func(*testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					skyline.OracleSkylineParallel(d)
+				}
+			}
+		}},
+		{"oracle_skyline_index", func(d *dataset.Dataset) func(*testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					skyline.NewIndex(d).OracleSkyline()
+				}
+			}
+		}},
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		outPath = flag.String("out", "BENCH_PR4.json", "output file, or - for stdout")
+		sizesCS = flag.String("sizes", "1000,5000,10000,20000", "comma-separated dataset cardinalities")
+		quick   = flag.Bool("quick", false, "smoke mode: n=1000 only (overrides -sizes)")
+		seed    = flag.Int64("seed", 1, "dataset generator seed")
+	)
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesCS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(2)
+	}
+	if *quick {
+		sizes = []int{1000}
+	}
+
+	rep := report{
+		Schema:    "crowdsky-bench/1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.GOMAXPROCS(0),
+		Sizes:     sizes,
+	}
+	for _, n := range sizes {
+		// The machine-part workload of the paper's evaluation: 4 known
+		// attributes, 2 crowd attributes, independent distribution.
+		d := dataset.MustGenerate(dataset.GenerateConfig{
+			N: n, KnownDims: 4, CrowdDims: 2, Distribution: dataset.Independent,
+		}, rand.New(rand.NewSource(*seed)))
+		for _, o := range ops() {
+			start := time.Now()
+			r := testing.Benchmark(o.bench(d))
+			rep.Results = append(rep.Results, result{
+				Op:          o.name,
+				N:           n,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.NsPerOp()),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			})
+			fmt.Fprintf(os.Stderr, "%-28s n=%-6d %12d ns/op %12d B/op %8d allocs/op (%s)\n",
+				o.name, n, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp(),
+				time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *outPath == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d results)\n", *outPath, len(rep.Results))
+}

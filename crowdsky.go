@@ -229,8 +229,9 @@ func DynamicVoting(_ *Dataset, omega int) Policy {
 // still have backup dominators pending get omega−2. It beats static voting
 // on both precision and recall at roughly 10-20% more worker budget.
 func SmartVoting(d *Dataset, omega int) Policy {
-	sets := skyline.DominatingSets(d)
-	fc := skyline.NewFreqCounter(d, sets)
+	ix := skyline.NewIndex(d)
+	sets := ix.DominatingSets()
+	fc := ix.FreqCounter()
 	var freqs []int
 	const probeCap = 32
 	for t, ds := range sets {

@@ -70,6 +70,24 @@ func (s Set) AndCount(t Set) int {
 	return c
 }
 
+// Intersects reports whether s and t share at least one element, stopping
+// at the first common word. The sets may have different capacities; only
+// the common prefix is examined, which is exact when the shorter set's
+// missing words are known to be zero (the truncated-row convention of the
+// skyline dominance bitmaps).
+func (s Set) Intersects(t Set) bool {
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	for i := 0; i < n; i++ {
+		if s[i]&t[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Clone returns an independent copy of s.
 func (s Set) Clone() Set {
 	c := make(Set, len(s))

@@ -70,9 +70,18 @@ type Options struct {
 	// and Result.Truncated is set.
 	MaxQuestions int
 	// Tracer receives structured trace events (round boundaries, P1/P2/P3
-	// prunings, vote escalations, budget truncation). Nil disables tracing
-	// at the cost of one pointer comparison per potential event.
+	// prunings, vote escalations, budget truncation, index builds). Nil
+	// disables tracing at the cost of one pointer comparison per potential
+	// event.
 	Tracer telemetry.Tracer
+	// Index, when non-nil, is a prebuilt dominance index over the run's
+	// dataset (skyline.NewIndex). Callers running several configurations
+	// over the same dataset — the experiment sweeps, the differential
+	// oracle — share one index instead of paying the quadratic machine
+	// part per run. It is adopted only when it matches the dataset and the
+	// degenerate-case preprocessing removed nothing; otherwise the session
+	// builds its own restricted index.
+	Index *skyline.Index
 }
 
 // ProbeOrder selects the ordering of P3's probing questions.
@@ -126,6 +135,11 @@ type session struct {
 	graphs []*prefgraph.Graph
 	policy voting.Policy
 	fc     *skyline.FreqCounter
+	// ix is the dominance index of the run, built (or adopted from
+	// sharedIx) by prepMachine after the degenerate-case preprocessing.
+	ix *skyline.Index
+	// sharedIx is the caller-provided index from Options.Index.
+	sharedIx *skyline.Index
 
 	// roundRobin enables one-attribute-at-a-time questioning for pairs
 	// (Options.RoundRobinAC).
@@ -177,6 +191,7 @@ func newSession(d *dataset.Dataset, pf crowd.Platform, opts Options) *session {
 		maxQuestions: opts.MaxQuestions,
 		useT:         opts.P2 || opts.P3,
 		trace:        opts.Tracer,
+		sharedIx:     opts.Index,
 		direct:       make(map[directKey]crowd.Preference),
 		alive:        make([]bool, d.N()),
 		twin:         make([]int, d.N()),
@@ -232,13 +247,6 @@ func (ss *session) seedStoredValues() {
 	}
 }
 
-// newFreqCounter builds the co-domination frequency counter (a thin
-// wrapper keeping algorithm files free of the skyline import for this one
-// call).
-func newFreqCounter(d *dataset.Dataset, sets [][]int) *skyline.FreqCounter {
-	return skyline.NewFreqCounter(d, sets)
-}
-
 // sortByDSSize orders tuples by ascending dominating-set size (stable), the
 // P1 evaluation order of Lemma 3.
 func sortByDSSize(order []int, sets [][]int) {
@@ -247,15 +255,24 @@ func sortByDSSize(order []int, sets [][]int) {
 	})
 }
 
-// pair is an unordered tuple pair; the canonical form has A < B.
-type pair struct{ a, b int }
+// pair is an unordered tuple pair packed into one word (min in the high
+// half, so the canonical form a() < b() is preserved). A single integer
+// key keeps the per-round dedup maps and probe slices allocation-light;
+// the zero pair stands in where the old struct used pair{}.
+type pair uint64
 
 func makePair(a, b int) pair {
 	if a > b {
 		a, b = b, a
 	}
-	return pair{a, b}
+	return pair(uint64(a)<<32 | uint64(b))
 }
+
+// a returns the smaller tuple index of the pair.
+func (p pair) a() int { return int(p >> 32) }
+
+// b returns the larger tuple index of the pair.
+func (p pair) b() int { return int(p & 0xffffffff) }
 
 // pairKnown reports whether the relation between s and t is known on every
 // crowd attribute, under the current inference mode (see useT).
@@ -664,32 +681,52 @@ func (ss *session) finish(inSkyline []bool) *Result {
 	}
 }
 
-// aliveDominatingSets computes DS(t) restricted to alive tuples. When the
-// degenerate-case preprocessing removed nothing (the common case), the
-// CPU-sharded construction is used.
-func (ss *session) aliveDominatingSets() [][]int {
-	d := ss.d
-	n := d.N()
+// prepMachine pays the machine part of a run in one place, after the
+// degenerate-case preprocessing fixed the alive set: it builds (or adopts
+// from Options.Index) the dominance index, derives the alive-restricted
+// dominating sets and the frequency counter from its bitmap, seeds the
+// progress estimate, and pre-sizes the direct-answer map for the expected
+// question volume. Every algorithm calls it exactly once; nothing
+// downstream runs another pair-wise dominance test.
+func (ss *session) prepMachine() [][]int {
 	allAlive := true
-	for t := 0; t < n; t++ {
+	for t := 0; t < ss.d.N(); t++ {
 		if !ss.alive[t] {
 			allAlive = false
 			break
 		}
 	}
-	if allAlive {
-		return skyline.DominatingSetsParallel(d)
-	}
-	sets := make([][]int, n)
-	for t := 0; t < n; t++ {
-		if !ss.alive[t] {
-			continue
+	if allAlive && ss.sharedIx != nil && ss.sharedIx.Matches(ss.d) {
+		ss.ix = ss.sharedIx
+	} else {
+		var mask []bool
+		if !allAlive {
+			mask = ss.alive
 		}
-		for s := 0; s < n; s++ {
-			if s != t && ss.alive[s] && skyline.DominatesKnown(d, s, t) {
-				sets[t] = append(sets[t], s)
-			}
+		ss.ix = skyline.NewIndexAlive(ss.d, mask)
+		if ss.trace != nil {
+			st := ss.ix.Stats()
+			ss.trace.Emit(telemetry.IndexBuild(st.N, st.Pairs, st.BitmapBytes, st.BuildDuration))
 		}
 	}
+	sets := ss.ix.DominatingSets()
+	ss.fc = ss.ix.FreqCounter()
+	ss.progressTotal = ss.estimateTotalQuestions(sets)
+	ss.presizeDirect()
 	return sets
+}
+
+// presizeDirect rebuilds the direct-answer map with room for the
+// estimated question volume, so the apply hot path does not rehash as
+// answers accumulate. The few entries recorded by the degenerate-case
+// preprocessing are carried over.
+func (ss *session) presizeDirect() {
+	if ss.progressTotal <= len(ss.direct) {
+		return
+	}
+	m := make(map[directKey]crowd.Preference, ss.progressTotal)
+	for k, v := range ss.direct {
+		m[k] = v
+	}
+	ss.direct = m
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"crowdsky/internal/crowd"
 	"crowdsky/internal/dataset"
-	"crowdsky/internal/skyline"
 )
 
 // CrowdSky runs Algorithm 1: the serial crowd-enabled skyline computation
@@ -20,9 +19,7 @@ func CrowdSky(d *dataset.Dataset, pf crowd.Platform, opts Options) *Result {
 	ss := newSession(d, pf, opts)
 	ss.emitRunStart("crowdsky")
 	ss.preprocessDegenerate()
-	sets := ss.aliveDominatingSets()
-	ss.fc = skyline.NewFreqCounter(d, sets)
-	ss.progressTotal = ss.estimateTotalQuestions(sets)
+	sets := ss.prepMachine()
 
 	n := d.N()
 	inSkyline := make([]bool, n)
@@ -53,7 +50,7 @@ func CrowdSky(d *dataset.Dataset, pf crowd.Platform, opts Options) *Result {
 			if !ok || !ss.budgetLeft() {
 				break
 			}
-			ss.askPairNow(p.a, p.b)
+			ss.askPairNow(p.a(), p.b())
 		}
 		if te.killed {
 			nonSkyline[t] = true

@@ -71,13 +71,13 @@ func newTupleEval(ss *session, t int, ds []int, opts Options, nonSkyline []bool)
 		switch opts.ProbeOrder {
 		case FreqAscending:
 			sort.SliceStable(te.probe, func(x, y int) bool {
-				return ss.freq(te.probe[x].a, te.probe[x].b) < ss.freq(te.probe[y].a, te.probe[y].b)
+				return ss.freq(te.probe[x].a(), te.probe[x].b()) < ss.freq(te.probe[y].a(), te.probe[y].b())
 			})
 		case PairOrder:
 			// generation order
 		default: // FreqDescending
 			sort.SliceStable(te.probe, func(x, y int) bool {
-				return ss.freq(te.probe[x].a, te.probe[x].b) > ss.freq(te.probe[y].a, te.probe[y].b)
+				return ss.freq(te.probe[x].a(), te.probe[x].b()) > ss.freq(te.probe[y].a(), te.probe[y].b())
 			})
 		}
 	}
@@ -137,35 +137,35 @@ func (te *tupleEval) remainingAfter() int {
 // false when the tuple is complete; the outcome is then in te.killed.
 func (te *tupleEval) next(ss *session) (p pair, ok bool) {
 	if te.done {
-		return pair{}, false
+		return 0, false
 	}
 	// Probing phase (P3).
 	for te.probeAt < len(te.probe) {
 		pr := te.probe[te.probeAt]
 		// Skip pairs whose members were already pruned away.
-		if !te.inDS[pr.a] || !te.inDS[pr.b] {
+		if !te.inDS[pr.a()] || !te.inDS[pr.b()] {
 			te.probeAt++
 			continue
 		}
-		if !ss.pairKnown(pr.a, pr.b) {
+		if !ss.pairKnown(pr.a(), pr.b()) {
 			// Under round-robin, a partially answered probe whose members
 			// are already known incomparable needs no further attributes.
-			if !(ss.roundRobin && ss.pairIncomparable(pr.a, pr.b)) {
+			if !(ss.roundRobin && ss.pairIncomparable(pr.a(), pr.b())) {
 				te.pendingBackup = 0
 				return pr, true
 			}
 		}
 		// Resolved: apply its pruning effect for free.
 		switch {
-		case ss.acDominates(pr.a, pr.b):
-			te.remove(pr.b)
+		case ss.acDominates(pr.a(), pr.b()):
+			te.remove(pr.b())
 			if ss.trace != nil {
-				ss.trace.Emit(telemetry.P3Resolve(te.t, pr.b))
+				ss.trace.Emit(telemetry.P3Resolve(te.t, pr.b()))
 			}
-		case ss.acDominates(pr.b, pr.a):
-			te.remove(pr.a)
+		case ss.acDominates(pr.b(), pr.a()):
+			te.remove(pr.a())
 			if ss.trace != nil {
-				ss.trace.Emit(telemetry.P3Resolve(te.t, pr.a))
+				ss.trace.Emit(telemetry.P3Resolve(te.t, pr.a()))
 			}
 		}
 		te.probeAt++
@@ -183,7 +183,7 @@ func (te *tupleEval) next(ss *session) (p pair, ok bool) {
 			// s ≺AK t and s ⪯AC t, hence s ≺A t: complete non-skyline.
 			te.killed = true
 			te.done = true
-			return pair{}, false
+			return 0, false
 		}
 		if ss.roundRobin && ss.cannotWeaklyPrefer(s, te.t) {
 			// Round-robin: t already won an attribute against s, so s can
@@ -199,5 +199,5 @@ func (te *tupleEval) next(ss *session) (p pair, ok bool) {
 		te.askAt++
 	}
 	te.done = true
-	return pair{}, false
+	return 0, false
 }

@@ -5,7 +5,6 @@ import (
 
 	"crowdsky/internal/crowd"
 	"crowdsky/internal/dataset"
-	"crowdsky/internal/skyline"
 )
 
 // ParallelDSet runs the dominating-set partitioning parallelization of
@@ -23,9 +22,7 @@ func ParallelDSet(d *dataset.Dataset, pf crowd.Platform, opts Options) *Result {
 	ss := newSession(d, pf, opts)
 	ss.emitRunStart("parallel-dset")
 	ss.preprocessDegenerate()
-	sets := ss.aliveDominatingSets()
-	ss.fc = skyline.NewFreqCounter(d, sets)
-	ss.progressTotal = ss.estimateTotalQuestions(sets)
+	sets := ss.prepMachine()
 
 	n := d.N()
 	inSkyline := make([]bool, n)
@@ -158,7 +155,7 @@ func runLockstep(ss *session, evals []*tupleEval) {
 	active := append([]*tupleEval(nil), evals...)
 	for len(active) > 0 && ss.budgetLeft() {
 		var reqs []crowd.Request
-		seen := make(map[pair]bool)
+		seen := make(map[pair]bool, len(active))
 		next := active[:0]
 		for _, te := range active {
 			p, ok := te.next(ss)
@@ -168,7 +165,7 @@ func runLockstep(ss *session, evals []*tupleEval) {
 			next = append(next, te)
 			if !seen[p] {
 				seen[p] = true
-				reqs = ss.unknownAttrs(p.a, p.b, te.pendingBackup, reqs)
+				reqs = ss.unknownAttrs(p.a(), p.b(), te.pendingBackup, reqs)
 			}
 		}
 		active = next

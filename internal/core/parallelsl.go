@@ -5,7 +5,6 @@ import (
 
 	"crowdsky/internal/crowd"
 	"crowdsky/internal/dataset"
-	"crowdsky/internal/skyline"
 )
 
 // ParallelSL runs Algorithm 2: the skyline-layer parallelization of
@@ -23,10 +22,8 @@ func ParallelSL(d *dataset.Dataset, pf crowd.Platform, opts Options) *Result {
 	ss := newSession(d, pf, opts)
 	ss.emitRunStart("parallel-sl")
 	ss.preprocessDegenerate()
-	sets := ss.aliveDominatingSets()
-	ss.fc = skyline.NewFreqCounter(d, sets)
-	ss.progressTotal = ss.estimateTotalQuestions(sets)
-	imm := skyline.ImmediateDominatorsParallel(d, sets)
+	sets := ss.prepMachine()
+	imm := ss.ix.ImmediateDominators()
 
 	n := d.N()
 	inSkyline := make([]bool, n)
@@ -112,7 +109,7 @@ func ParallelSL(d *dataset.Dataset, pf crowd.Platform, opts Options) *Result {
 		// One round: every active pipeline contributes its pending pair;
 		// duplicates across pipelines are asked once.
 		var reqs []crowd.Request
-		seen := make(map[pair]bool)
+		seen := make(map[pair]bool, len(active))
 		for _, te := range active {
 			p, ok := te.next(ss)
 			if !ok {
@@ -120,7 +117,7 @@ func ParallelSL(d *dataset.Dataset, pf crowd.Platform, opts Options) *Result {
 			}
 			if !seen[p] {
 				seen[p] = true
-				reqs = ss.unknownAttrs(p.a, p.b, te.pendingBackup, reqs)
+				reqs = ss.unknownAttrs(p.a(), p.b(), te.pendingBackup, reqs)
 			}
 		}
 		ss.askRound(reqs)

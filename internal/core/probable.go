@@ -43,9 +43,7 @@ func CrowdSkyProbabilistic(d *dataset.Dataset, pf crowd.Platform, opts Options) 
 	ss := newSession(d, pf, opts)
 	ss.emitRunStart("crowdsky-probabilistic")
 	ss.preprocessDegenerate()
-	sets := ss.aliveDominatingSets()
-	ss.fc = newFreqCounter(d, sets)
-	ss.progressTotal = ss.estimateTotalQuestions(sets)
+	sets := ss.prepMachine()
 
 	n := d.N()
 	inSkyline := make([]bool, n)
@@ -73,7 +71,7 @@ func CrowdSkyProbabilistic(d *dataset.Dataset, pf crowd.Platform, opts Options) 
 			if !ok || !ss.budgetLeft() {
 				break
 			}
-			ss.askPairNow(p.a, p.b)
+			ss.askPairNow(p.a(), p.b())
 		}
 		if te.killed {
 			nonSkyline[t] = true

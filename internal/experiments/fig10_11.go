@@ -34,16 +34,23 @@ func DynamicPolicy(_ *dataset.Dataset, omega int) voting.Policy {
 // dominators pending get ω−2. It dominates static voting on both precision
 // and recall at roughly 10-20% more worker budget (EXPERIMENTS.md).
 func SmartPolicy(d *dataset.Dataset, omega int) voting.Policy {
-	freqs := candidateFreqs(d)
+	return SmartPolicyIndexed(skyline.NewIndex(d), omega)
+}
+
+// SmartPolicyIndexed is SmartPolicy calibrated from a prebuilt dominance
+// index, so callers that already pay for the index (the accuracy sweeps)
+// do not rebuild the quadratic machine part per policy.
+func SmartPolicyIndexed(ix *skyline.Index, omega int) voting.Policy {
+	freqs := candidateFreqs(ix)
 	return voting.NewSmart(omega, percentileInt(freqs, 0.95))
 }
 
 // candidateFreqs collects the importance values freq(u,v) of the questions
 // CrowdSky may ask: the dominating-set questions plus (capped) probing
 // pairs.
-func candidateFreqs(d *dataset.Dataset) []int {
-	sets := skyline.DominatingSets(d)
-	fc := skyline.NewFreqCounter(d, sets)
+func candidateFreqs(ix *skyline.Index) []int {
+	sets := ix.DominatingSets()
+	fc := ix.FreqCounter()
 	var freqs []int
 	const probeCap = 32 // bound the quadratic probe enumeration per tuple
 	for t, ds := range sets {
@@ -75,11 +82,11 @@ func percentileInt(vals []int, q float64) int {
 	return sorted[idx]
 }
 
-// accuracyPoint measures precision and recall of one method on one noisy
-// dataset instance.
+// accuracyMethod runs one method on one noisy dataset instance; ix is the
+// shared dominance index over d (pass it on via core.Options.Index).
 type accuracyMethod struct {
 	name string
-	run  func(d *dataset.Dataset, seed int64) []int
+	run  func(d *dataset.Dataset, ix *skyline.Index, seed int64) []int
 }
 
 func accuracySweep(cfg Config, methods []accuracyMethod, metric string, figID string) []Series {
@@ -95,22 +102,28 @@ func accuracySweep(cfg Config, methods []accuracyMethod, metric string, figID st
 	for pi, n := range cardinalities {
 		sn := cfg.scaled(n)
 		gen := dataset.GenerateConfig{N: sn, KnownDims: 4, CrowdDims: 1, Distribution: dataset.Independent}
-		for mi, m := range methods {
-			var vals []float64
-			for run := 0; run < cfg.Runs; run++ {
-				seed := cfg.Seed + int64(run)
-				d := dataset.MustGenerate(gen, rand.New(rand.NewSource(seed)))
-				got := m.run(d, seed*1000+int64(mi))
-				want := core.Oracle(d)
-				known := skyline.KnownSkyline(d)
+		vals := make([][]float64, len(methods))
+		for run := 0; run < cfg.Runs; run++ {
+			// Every method sees the same dataset instance, so one index
+			// serves all of them plus the ground-truth and known-skyline
+			// grading.
+			seed := cfg.Seed + int64(run)
+			d := dataset.MustGenerate(gen, rand.New(rand.NewSource(seed)))
+			ix := skyline.NewIndex(d)
+			want := ix.OracleSkyline()
+			known := ix.KnownSkyline()
+			for mi, m := range methods {
+				got := m.run(d, ix, seed*1000+int64(mi))
 				prec, rec := metrics.PrecisionRecall(got, want, known)
 				if metric == "precision" {
-					vals = append(vals, prec)
+					vals[mi] = append(vals[mi], prec)
 				} else {
-					vals = append(vals, rec)
+					vals[mi] = append(vals[mi], rec)
 				}
 			}
-			series[mi].Y = append(series[mi].Y, metrics.Summarize(vals).Mean)
+		}
+		for mi, m := range methods {
+			series[mi].Y = append(series[mi].Y, metrics.Summarize(vals[mi]).Mean)
 			cfg.progressf("fig %s: %s at point %d/%d done (%s %.3f)\n",
 				figID, m.name, pi+1, len(cardinalities), metric, series[mi].Y[pi])
 		}
@@ -129,22 +142,25 @@ func Fig10(cfg Config, panel string) (*Figure, error) {
 	}
 	const p = 0.8
 	methods := []accuracyMethod{
-		{"StaticVoting", func(d *dataset.Dataset, seed int64) []int {
+		{"StaticVoting", func(d *dataset.Dataset, ix *skyline.Index, seed int64) []int {
 			pf := noisyPlatform(d, p, seed)
 			opts := core.AllPruning()
 			opts.Voting = voting.Static{Omega: DefaultOmega}
+			opts.Index = ix
 			return core.CrowdSky(d, pf, opts).Skyline
 		}},
-		{"DynamicVoting", func(d *dataset.Dataset, seed int64) []int {
+		{"DynamicVoting", func(d *dataset.Dataset, ix *skyline.Index, seed int64) []int {
 			pf := noisyPlatform(d, p, seed)
 			opts := core.AllPruning()
 			opts.Voting = DynamicPolicy(d, DefaultOmega)
+			opts.Index = ix
 			return core.CrowdSky(d, pf, opts).Skyline
 		}},
-		{"SmartVoting", func(d *dataset.Dataset, seed int64) []int {
+		{"SmartVoting", func(d *dataset.Dataset, ix *skyline.Index, seed int64) []int {
 			pf := noisyPlatform(d, p, seed)
 			opts := core.AllPruning()
-			opts.Voting = SmartPolicy(d, DefaultOmega)
+			opts.Voting = SmartPolicyIndexed(ix, DefaultOmega)
+			opts.Index = ix
 			return core.CrowdSky(d, pf, opts).Skyline
 		}},
 	}
@@ -174,18 +190,19 @@ func Fig11(cfg Config, panel string) (*Figure, error) {
 	}
 	const p = 0.8
 	methods := []accuracyMethod{
-		{"Baseline", func(d *dataset.Dataset, seed int64) []int {
+		{"Baseline", func(d *dataset.Dataset, _ *skyline.Index, seed int64) []int {
 			pf := noisyPlatform(d, p, seed)
 			return core.Baseline(d, pf, core.TournamentSort, voting.Static{Omega: 1}).Skyline
 		}},
-		{"Unary", func(d *dataset.Dataset, seed int64) []int {
+		{"Unary", func(d *dataset.Dataset, _ *skyline.Index, seed int64) []int {
 			up := crowd.NewSimulatedUnary(crowd.DatasetTruth{Data: d}, UnarySigma, rand.New(rand.NewSource(seed)))
 			return core.Unary(d, up, DefaultOmega).Skyline
 		}},
-		{"CrowdSky", func(d *dataset.Dataset, seed int64) []int {
+		{"CrowdSky", func(d *dataset.Dataset, ix *skyline.Index, seed int64) []int {
 			pf := noisyPlatform(d, p, seed)
 			opts := core.AllPruning()
-			opts.Voting = SmartPolicy(d, DefaultOmega)
+			opts.Voting = SmartPolicyIndexed(ix, DefaultOmega)
+			opts.Index = ix
 			return core.CrowdSky(d, pf, opts).Skyline
 		}},
 	}

@@ -16,7 +16,7 @@ import (
 // toy dataset (Table 1), including the Σ|DS(t)| = 26 total of Example 3.
 func RenderTable1(w io.Writer) error {
 	d := dataset.Toy()
-	sets := skyline.DominatingSets(d)
+	sets := skyline.NewIndex(d).DominatingSets()
 	if _, err := fmt.Fprintln(w, "Table 1: dominating sets and question sets for the toy dataset (Figure 1a)"); err != nil {
 		return err
 	}
@@ -45,7 +45,8 @@ func RenderTable1(w io.Writer) error {
 // further reduced by P2/P3, Figure 4a).
 func RenderTable2(w io.Writer) error {
 	d := dataset.Toy()
-	sets := skyline.DominatingSets(d)
+	ix := skyline.NewIndex(d)
+	sets := ix.DominatingSets()
 	type entry struct {
 		idx  int
 		size int
@@ -67,7 +68,9 @@ func RenderTable2(w io.Writer) error {
 	}
 
 	rec := &crowd.Recorder{Inner: crowd.NewPerfect(crowd.DatasetTruth{Data: d})}
-	res := core.CrowdSky(d, rec, core.AllPruning())
+	opts := core.AllPruning()
+	opts.Index = ix
+	res := core.CrowdSky(d, rec, opts)
 	if _, err := fmt.Fprintln(w, "Questions asked with P1+P2+P3 (Figure 4a):"); err != nil {
 		return err
 	}

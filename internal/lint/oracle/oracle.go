@@ -19,6 +19,7 @@ import (
 	"crowdsky/internal/core"
 	"crowdsky/internal/crowd"
 	"crowdsky/internal/dataset"
+	"crowdsky/internal/skyline"
 )
 
 // dominates is an independent reimplementation of s ≺A t over the full
@@ -174,8 +175,16 @@ func PruningCombos() []core.Options {
 // parallelizations change cost and latency, never the answer.
 func Differential(d *dataset.Dataset) error {
 	truth := TrueSkyline(d)
+	// One dominance index serves all 24 runs; every scheme adopts it via
+	// Options.Index instead of recomputing the quadratic machine part.
+	// Its bitmap-backed oracle must also agree with the brute-force truth.
+	ix := skyline.NewIndex(d)
+	if got := ix.OracleSkyline(); !equalInts(got, truth) {
+		return fmt.Errorf("index oracle: skyline %v differs from brute-force truth %v", got, truth)
+	}
 	for _, sc := range schemes() {
 		for _, opts := range PruningCombos() {
+			opts.Index = ix
 			pf := crowd.NewPerfect(crowd.DatasetTruth{Data: d})
 			res := sc.run(d, pf, opts)
 			if err := CheckSkyline(res, d, truth, pf.Stats().Snapshot()); err != nil {

@@ -1,6 +1,7 @@
 package prefgraph
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -9,10 +10,41 @@ import (
 // extends the longest path, maximizing closure propagation).
 func BenchmarkAddPreferChain(b *testing.B) {
 	const n = 2000
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g := New(n)
 		for v := 1; v < n; v++ {
 			g.AddPrefer(v-1, v)
+		}
+	}
+}
+
+// BenchmarkAddPreferPropagation scales the chain shape across sizes so
+// the closure-propagation trajectory (quadratic in the chain length) is
+// visible in BENCH_*.json diffs.
+func BenchmarkAddPreferPropagation(b *testing.B) {
+	for _, n := range []int{500, 1000, 2000, 4000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := New(n)
+				for v := 1; v < n; v++ {
+					g.AddPrefer(v-1, v)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAddEqualMerge folds n tuples into one equivalence class,
+// exercising the union-find merge and reach-set union path.
+func BenchmarkAddEqualMerge(b *testing.B) {
+	const n = 2000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := New(n)
+		for v := 1; v < n; v++ {
+			g.AddEqual(0, v)
 		}
 	}
 }

@@ -51,6 +51,64 @@ func BenchmarkDominatingSets(b *testing.B) {
 			DominatingSetsParallel(d)
 		}
 	})
+	b.Run("index", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			NewIndex(d).DominatingSets()
+		}
+	})
+}
+
+// BenchmarkIndexBuild isolates the one-time cost of the columnar engine:
+// layout, sort, tiled bitmap kernel, and transpose.
+func BenchmarkIndexBuild(b *testing.B) {
+	for _, n := range []int{1000, 4000, 10000} {
+		d := benchData(b, n, 4, dataset.Independent)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var pairs int
+			for i := 0; i < b.N; i++ {
+				pairs = NewIndex(d).Stats().Pairs
+			}
+			b.ReportMetric(float64(pairs), "pairs")
+		})
+	}
+}
+
+// BenchmarkImmediateDominators pits the O(|DS|²·d) row rescan against the
+// bitset intersection tests of the index (index build included, since the
+// scan kernel gets its sets input for free).
+func BenchmarkImmediateDominators(b *testing.B) {
+	d := benchData(b, 4000, 4, dataset.Independent)
+	sets := DominatingSetsParallel(d)
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ImmediateDominatorsParallel(d, sets)
+		}
+	})
+	b.Run("index", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			NewIndex(d).ImmediateDominators()
+		}
+	})
+}
+
+// BenchmarkOracleSkyline compares the row-scan oracle with the
+// bitmap-backed readout (index build included).
+func BenchmarkOracleSkyline(b *testing.B) {
+	d := randData(1, 4000, 4, 2, dataset.Independent)
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			OracleSkylineParallel(d)
+		}
+	})
+	b.Run("index", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			NewIndex(d).OracleSkyline()
+		}
+	})
 }
 
 func BenchmarkLayers(b *testing.B) {

@@ -58,7 +58,13 @@ func ImmediateDominators(d *dataset.Dataset, sets [][]int) [][]int {
 // tuple, the bit set of tuples it dominates, so each query is a single
 // AND-popcount pass.
 type FreqCounter struct {
-	dominated []bitset.Set // dominated[u] = {x : u ≺AK x}
+	// dominated[u] = {x : u ≺AK x}. When pos is nil both the row index u
+	// and the member bits x are original tuple indices; an index-backed
+	// counter (Index.FreqCounter) stores rows and bits in sorted-position
+	// space and remaps queries through pos. Frequencies are counts, so the
+	// relabeling is invisible to callers.
+	dominated []bitset.Set
+	pos       []int // original index -> row; nil means identity
 }
 
 // NewFreqCounter builds the counter from the dominating sets of d (the
@@ -79,11 +85,14 @@ func NewFreqCounter(d *dataset.Dataset, sets [][]int) *FreqCounter {
 }
 
 // Freq returns freq(u,v), the number of tuples dominated by both u and v
-// on the known attributes.
+// on the known attributes. Tuples excluded from an alive-restricted index
+// dominate nothing, so any query involving one returns 0.
 func (fc *FreqCounter) Freq(u, v int) int {
+	if fc.pos != nil {
+		u, v = fc.pos[u], fc.pos[v]
+		if u < 0 || v < 0 {
+			return 0
+		}
+	}
 	return fc.dominated[u].AndCount(fc.dominated[v])
 }
-
-// DominatedBy returns the bit set of tuples dominated by u on AK. The
-// returned set aliases internal storage and must not be modified.
-func (fc *FreqCounter) DominatedBy(u int) bitset.Set { return fc.dominated[u] }

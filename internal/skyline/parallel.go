@@ -8,15 +8,23 @@ import (
 )
 
 // The machine part of a crowd-enabled query is quadratic in the
-// cardinality (dominating sets, oracle grading), and while it is dwarfed
-// by crowd latency it still takes seconds at n = 10000. The constructions
-// are embarrassingly parallel across target tuples, so the hot ones shard
-// across CPUs; results are deterministic regardless of scheduling because
-// each shard owns disjoint output slots.
+// cardinality (dominating sets, oracle grading). The constructions are
+// embarrassingly parallel across target tuples, so they shard across
+// CPUs; results are deterministic regardless of scheduling because each
+// shard owns disjoint output slots.
+//
+// The *Parallel functions below are the row-scan kernels: they walk
+// [][]float64 rows and re-run DominatesKnown per pair per construction.
+// Hot callers should build a skyline.Index (engine.go) instead, which
+// computes the dominance relation once over a columnar layout and derives
+// every construction from the bitmap. The scan kernels stay as the
+// independent reference implementations for the differential tests and
+// as the "before" side of the benchmark trajectory.
 
 // parallelThreshold is the tuple count below which sharding costs more
-// than it saves.
-const parallelThreshold = 2048
+// than it saves. It is a variable (not a const) so tests can lower it to
+// drive the sharded paths, race detector included, on small inputs.
+var parallelThreshold = 2048
 
 // shard runs fn over [0, n) in parallel chunks and waits for completion.
 func shard(n int, fn func(lo, hi int)) {
@@ -45,7 +53,8 @@ func shard(n int, fn func(lo, hi int)) {
 }
 
 // DominatingSetsParallel computes the same result as DominatingSets using
-// all CPUs.
+// all CPUs, one row scan per pair. Prefer (*Index).DominatingSets when
+// other constructions over the same dataset are needed too.
 func DominatingSetsParallel(d *dataset.Dataset) [][]int {
 	n := d.N()
 	sets := make([][]int, n)
@@ -62,7 +71,8 @@ func DominatingSetsParallel(d *dataset.Dataset) [][]int {
 }
 
 // OracleSkylineParallel computes the same result as OracleSkyline using
-// all CPUs.
+// all CPUs. (*Index).OracleSkyline grades from the dominance bitmap
+// instead when an index is already built.
 func OracleSkylineParallel(d *dataset.Dataset) []int {
 	n := d.N()
 	flags := make([]bool, n)
@@ -87,7 +97,9 @@ func OracleSkylineParallel(d *dataset.Dataset) []int {
 }
 
 // ImmediateDominatorsParallel computes the same result as
-// ImmediateDominators using all CPUs.
+// ImmediateDominators using all CPUs, O(|DS|²·d) per target.
+// (*Index).ImmediateDominators replaces the inner rescan with one bitset
+// intersection test per member.
 func ImmediateDominatorsParallel(d *dataset.Dataset, sets [][]int) [][]int {
 	n := d.N()
 	im := make([][]int, n)

@@ -1,0 +1,42 @@
+package telemetry
+
+// IndexMetrics is a Tracer that folds index_build trace events into
+// registry metrics, so the one-time machine-part cost of each run (index
+// build time, bitmap footprint) is visible on /metrics next to the crowd
+// counters. Other event types pass through untouched, which makes it
+// natural to compose with a Collector or log sink via Multi.
+type IndexMetrics struct {
+	builds       *Counter
+	buildSeconds *Histogram
+	bitmapBytes  *Gauge
+}
+
+// Index metric names, exported so dashboards and tests can reference them
+// without string duplication.
+const (
+	MetricIndexBuilds       = "crowdsky_index_builds_total"
+	MetricIndexBuildSeconds = "crowdsky_index_build_seconds"
+	MetricIndexBitmapBytes  = "crowdsky_index_bitmap_bytes"
+)
+
+// InstrumentIndex registers the dominance-index metrics on reg and
+// returns the Tracer that feeds them. Register at most one per registry
+// (the metric names are fixed; a second registration panics on the
+// duplicate).
+func InstrumentIndex(reg *Registry) *IndexMetrics {
+	return &IndexMetrics{
+		builds:       reg.NewCounter(MetricIndexBuilds, "Dominance index builds."),
+		buildSeconds: reg.NewHistogram(MetricIndexBuildSeconds, "Wall-clock time of one dominance index build."),
+		bitmapBytes:  reg.NewGauge(MetricIndexBitmapBytes, "Bitmap memory of the most recent dominance index."),
+	}
+}
+
+// Emit implements Tracer.
+func (m *IndexMetrics) Emit(e Event) {
+	if e.Type != EventIndexBuild {
+		return
+	}
+	m.builds.Inc()
+	m.buildSeconds.Observe(e.DurationMS / 1e3)
+	m.bitmapBytes.Set(e.Bytes)
+}

@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestIndexBuildEvent(t *testing.T) {
+	e := IndexBuild(500, 1234, 4096, 3*time.Millisecond)
+	if e.Type != EventIndexBuild || e.N != 500 || e.Pairs != 1234 || e.Bytes != 4096 {
+		t.Fatalf("IndexBuild event wrong: %+v", e)
+	}
+	if e.DurationMS != 3 {
+		t.Fatalf("DurationMS = %v, want 3", e.DurationMS)
+	}
+	if e.Tuple != -1 || e.A != -1 || e.B != -1 {
+		t.Fatalf("unused tuple fields should be -1: %+v", e)
+	}
+}
+
+func TestInstrumentIndex(t *testing.T) {
+	reg := NewRegistry()
+	m := InstrumentIndex(reg)
+
+	m.Emit(RunStart("CrowdSky", 10, 2)) // unrelated events are ignored
+	m.Emit(IndexBuild(100, 40, 2048, 2*time.Millisecond))
+	m.Emit(IndexBuild(200, 90, 8192, 5*time.Millisecond))
+
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		MetricIndexBuilds + " 2",
+		MetricIndexBitmapBytes + " 8192",
+		MetricIndexBuildSeconds + "_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInstrumentIndexComposesWithMulti(t *testing.T) {
+	reg := NewRegistry()
+	var c Collector
+	tr := Multi(InstrumentIndex(reg), &c)
+	Emit(tr, IndexBuild(10, 3, 512, time.Millisecond))
+	if c.Count(EventIndexBuild) != 1 {
+		t.Fatalf("collector missed the index_build event")
+	}
+}

@@ -39,6 +39,10 @@ const (
 	// EventBudgetTruncated records the question budget running out
 	// (Questions, Budget); the run switches to the optimistic readout.
 	EventBudgetTruncated EventType = "budget_truncated"
+	// EventIndexBuild records a dominance index build (N, Pairs, Bytes,
+	// DurationMS): the one-time machine-part cost a run pays before any
+	// crowd question is issued.
+	EventIndexBuild EventType = "index_build"
 )
 
 // Event is one structured trace event. It is a flat union of the fields
@@ -71,6 +75,9 @@ type Event struct {
 	Budget  int `json:"budget,omitempty"`  // budget_truncated: the cap
 	Rounds  int `json:"rounds,omitempty"`  // run_end
 	Skyline int `json:"skyline,omitempty"` // run_end: skyline size
+
+	Pairs int   `json:"pairs,omitempty"` // index_build: dominance pairs
+	Bytes int64 `json:"bytes,omitempty"` // index_build: bitmap memory
 }
 
 func newEvent(t EventType) Event {
@@ -135,6 +142,16 @@ func P3Resolve(tuple, member int) Event {
 func VoteEscalation(a, b, workers, base int) Event {
 	e := newEvent(EventVoteEscalation)
 	e.A, e.B, e.Workers, e.Base = a, b, workers, base
+	return e
+}
+
+// IndexBuild builds an index_build event: a dominance index over n
+// tuples with pairs dominance pairs and bytes of bitmap memory was built
+// in d.
+func IndexBuild(n, pairs int, bytes int64, d time.Duration) Event {
+	e := newEvent(EventIndexBuild)
+	e.N, e.Pairs, e.Bytes = n, pairs, bytes
+	e.DurationMS = float64(d) / float64(time.Millisecond)
 	return e
 }
 
