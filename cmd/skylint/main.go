@@ -1,18 +1,27 @@
 // Command skylint is the repository's static-analysis gate: it runs the
-// five CrowdSky-specific analyzers of internal/lint (guardedby, detrange,
-// niltrace, floateq, errdrop) and, by default, `go vet`, over the given
+// ten CrowdSky-specific analyzers of internal/lint — the AST contract
+// checks (guardedby, detrange, niltrace, floateq, errdrop) and the
+// flow-sensitive concurrency/trace checks (lockorder, ctxleak, wgbalance,
+// goroleak, traceschema) — and, by default, `go vet`, over the given
 // package patterns. A non-empty finding set exits 1, so CI can require it:
 //
 //	go run ./cmd/skylint ./...
 //
 // Flags:
 //
-//	-novet      skip the go vet pass (the analyzers still run)
-//	-list       print the analyzers and exit
+//	-novet           skip the go vet pass (the analyzers still run)
+//	-list            print the analyzers and exit
+//	-tests           also analyze in-package _test.go files
+//	-json            print findings as a JSON array instead of text lines
+//	-sarif FILE      additionally write a SARIF 2.1.0 report ("-" = stdout)
+//	-baseline FILE   suppress findings matched by the baseline file; stale
+//	                 entries fail the run (defaults to .skylint-baseline.json
+//	                 when that file exists)
 //
-// Findings are file:line:col-prefixed, one per line. See
-// docs/STATIC_ANALYSIS.md for what each analyzer enforces and how to
-// suppress a finding with a `skylint:ignore` comment.
+// Text findings are file:line:col-prefixed, one per line, sorted by
+// (file, line, col, analyzer) so CI output is stable and diffable. See
+// docs/STATIC_ANALYSIS.md for what each analyzer enforces, the
+// `skylint:ignore` suppression comment, and the baseline format.
 package main
 
 import (
@@ -22,16 +31,23 @@ import (
 	"os/exec"
 
 	"crowdsky/internal/lint"
+	"crowdsky/internal/lint/loader"
 )
+
+const defaultBaseline = ".skylint-baseline.json"
 
 func main() {
 	novet := flag.Bool("novet", false, "skip the go vet pass")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	jsonOut := flag.Bool("json", false, "print findings as JSON")
+	sarifPath := flag.String("sarif", "", "write a SARIF 2.1.0 report to this file (\"-\" for stdout)")
+	baselinePath := flag.String("baseline", "", "baseline file of grandfathered findings (default "+defaultBaseline+" if present)")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -54,13 +70,59 @@ func main() {
 		}
 	}
 
-	findings, err := lint.Run(".", patterns, lint.All())
+	findings, err := lint.Run(".", patterns, lint.All(), loader.Options{Tests: *tests})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skylint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	// Baseline: explicit flag, or the default file when it exists.
+	bl := *baselinePath
+	if bl == "" {
+		if _, statErr := os.Stat(defaultBaseline); statErr == nil {
+			bl = defaultBaseline
+		}
+	}
+	if bl != "" {
+		entries, err := lint.LoadBaseline(bl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skylint: %v\n", err)
+			os.Exit(2)
+		}
+		var stale []lint.BaselineEntry
+		findings, stale = lint.ApplyBaseline(findings, entries)
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "skylint: stale baseline entry in %s: %s %q in %s no longer fires — remove it\n",
+				bl, e.Analyzer, e.Message, e.File)
+			failed = true
+		}
+	}
+
+	if *sarifPath != "" {
+		doc, err := lint.ToSARIF(findings, lint.All())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skylint: encoding SARIF: %v\n", err)
+			os.Exit(2)
+		}
+		if *sarifPath == "-" {
+			fmt.Println(string(doc))
+		} else if err := os.WriteFile(*sarifPath, append(doc, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "skylint: writing SARIF: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if *jsonOut {
+		doc, err := lint.ToJSON(findings)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skylint: encoding JSON: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(doc))
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 || failed {
 		os.Exit(1)

@@ -61,6 +61,25 @@ func (s Set) Count() int {
 	return c
 }
 
+// And sets s to the intersection s & t. Both sets must have the same
+// capacity.
+func (s Set) And(t Set) {
+	for i, w := range t {
+		s[i] &= w
+	}
+}
+
+// Equal reports whether s and t hold exactly the same elements. Both sets
+// must have the same capacity.
+func (s Set) Equal(t Set) bool {
+	for i, w := range t {
+		if s[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
 // AndCount returns |s & t| without materializing the intersection.
 func (s Set) AndCount(t Set) int {
 	c := 0

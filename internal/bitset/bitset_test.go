@@ -68,6 +68,17 @@ func TestSetAlgebra(t *testing.T) {
 	if u.Has(100) || u.Has(150) || !u.Has(1) {
 		t.Errorf("AndNot wrong: %v", u.Members(nil))
 	}
+	i := a.Clone()
+	i.And(b)
+	if i.Count() != 1 || !i.Has(100) {
+		t.Errorf("And wrong: %v", i.Members(nil))
+	}
+	if !a.Equal(a.Clone()) {
+		t.Errorf("Equal(clone) = false")
+	}
+	if a.Equal(b) {
+		t.Errorf("Equal on different sets = true")
+	}
 }
 
 // TestAgainstMapModel drives random operations against a map-based model.

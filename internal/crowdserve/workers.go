@@ -39,8 +39,10 @@ func SimulateWorkers(ctx context.Context, baseURL string, cfg WorkerConfig) {
 		poll = 50 * time.Millisecond
 	}
 	var wg sync.WaitGroup
+	// One Add for the whole fleet, before any goroutine starts: the
+	// counter can never be observed mid-ramp by Wait.
+	wg.Add(cfg.Count)
 	for w := 0; w < cfg.Count; w++ {
-		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))

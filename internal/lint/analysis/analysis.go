@@ -30,6 +30,38 @@ type Analyzer struct {
 	// pass.Reportf. A returned error aborts the whole skylint run (reserve
 	// it for internal failures, not findings).
 	Run func(pass *Pass) error
+	// Finish, when non-nil, runs once after Run has seen every package of
+	// the skylint invocation. Program-wide analyzers (lockorder,
+	// traceschema) accumulate facts in pass.Program().Fact during Run and
+	// report from here, through the Pass each fact was recorded under, so
+	// suppression comments keep working.
+	Finish func(prog *Program) error
+}
+
+// Program is the cross-package state of one skylint run: every Pass of the
+// run shares one Program, giving analyzers a place to accumulate facts
+// (lock-order edges, event schemas) whose checks only make sense once the
+// whole package set has been seen.
+//
+// Analyzers run package-by-package within a single goroutine, so Program
+// needs no locking.
+type Program struct {
+	facts map[string]any
+}
+
+// NewProgram returns an empty fact store.
+func NewProgram() *Program { return &Program{facts: make(map[string]any)} }
+
+// Fact returns the fact value stored under key, creating it with init on
+// first use. Keys are conventionally the analyzer name; an analyzer that
+// stores several fact kinds suffixes the key ("lockorder.edges").
+func (p *Program) Fact(key string, init func() any) any {
+	v, ok := p.facts[key]
+	if !ok {
+		v = init()
+		p.facts[key] = v
+	}
+	return v
 }
 
 // Pass connects an Analyzer to one type-checked package.
@@ -52,7 +84,22 @@ type Pass struct {
 	// ignores maps file base + line to the analyzer names suppressed
 	// there (see BuildIgnores).
 	ignores map[ignoreKey]map[string]bool
+	// prog is the run-wide fact store; the driver sets it.
+	prog *Program
 }
+
+// Program returns the run-wide fact store shared by every pass of this
+// skylint invocation. It is never nil once the driver has set it; a
+// defensive lazy store covers hand-built passes in tests.
+func (p *Pass) Program() *Program {
+	if p.prog == nil {
+		p.prog = NewProgram()
+	}
+	return p.prog
+}
+
+// SetProgram installs the shared fact store; the driver calls it before Run.
+func (p *Pass) SetProgram(prog *Program) { p.prog = prog }
 
 // Diagnostic is one finding.
 type Diagnostic struct {

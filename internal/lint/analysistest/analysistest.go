@@ -55,10 +55,16 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 		Info:     pkg.Info,
 	}
 	pass.BuildIgnores()
+	pass.SetProgram(analysis.NewProgram())
 	var diags []analysis.Diagnostic
 	pass.SetReporter(func(d analysis.Diagnostic) { diags = append(diags, d) })
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	if a.Finish != nil {
+		if err := a.Finish(pass.Program()); err != nil {
+			t.Fatalf("finishing %s on %s: %v", a.Name, dir, err)
+		}
 	}
 	for _, d := range diags {
 		pos := pkg.Fset.Position(d.Pos)

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// A baseline file grandfathers specific findings: each entry names one
+// diagnostic (by file, analyzer and exact message — deliberately not by
+// line number, which churns with every edit above it) together with a
+// mandatory justification. The baseline is *checked*: an entry that no
+// longer matches any finding is stale, and skylint fails on it so the file
+// shrinks monotonically instead of fossilizing. Prefer a `skylint:ignore`
+// comment at the site for anything long-lived; the baseline exists to land
+// a new analyzer without blocking on fixes owned by someone else.
+//
+// Format (JSON, one array):
+//
+//	[
+//	  {
+//	    "file": "internal/crowdserve/server.go",
+//	    "analyzer": "goroleak",
+//	    "message": "the exact diagnostic text",
+//	    "reason": "why this is acceptable, and ideally until when"
+//	  }
+//	]
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Reason   string `json:"reason"`
+}
+
+// LoadBaseline reads and validates a baseline file. Every entry must carry
+// file, analyzer, message and a non-empty reason.
+func LoadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading baseline: %w", err)
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	for i, e := range entries {
+		if e.File == "" || e.Analyzer == "" || e.Message == "" {
+			return nil, fmt.Errorf("lint: baseline %s entry %d: file, analyzer and message are all required", path, i)
+		}
+		if e.Reason == "" {
+			return nil, fmt.Errorf("lint: baseline %s entry %d (%s in %s): a reason is required — the baseline is an auditable claim, not an escape hatch", path, i, e.Analyzer, e.File)
+		}
+	}
+	return entries, nil
+}
+
+// ApplyBaseline removes findings matched by baseline entries and returns
+// the survivors plus any stale entries (entries that matched nothing).
+// One entry suppresses every finding with the same file, analyzer and
+// message — a multi-site diagnostic needs one entry, not one per line.
+func ApplyBaseline(findings []Finding, entries []BaselineEntry) (kept []Finding, stale []BaselineEntry) {
+	used := make([]bool, len(entries))
+	for _, f := range findings {
+		matched := false
+		for i, e := range entries {
+			if f.File == e.File && f.Analyzer == e.Analyzer && f.Message == e.Message {
+				used[i] = true
+				matched = true
+			}
+		}
+		if !matched {
+			kept = append(kept, f)
+		}
+	}
+	for i, e := range entries {
+		if !used[i] {
+			stale = append(stale, e)
+		}
+	}
+	return kept, stale
+}

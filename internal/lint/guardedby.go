@@ -38,7 +38,9 @@ var GuardedBy = &analysis.Analyzer{
 var guardedByRE = regexp.MustCompile(`skylint:guardedby\s+([A-Za-z_][A-Za-z0-9_]*)`)
 
 func runGuardedBy(pass *analysis.Pass) error {
-	guarded := collectGuardAnnotations(pass)
+	guarded := collectGuardAnnotations(pass, func(pos token.Pos, mu string) {
+		pass.Reportf(pos, "skylint:guardedby names %q, but the struct has no such field", mu)
+	})
 	if len(guarded) == 0 {
 		return nil
 	}
@@ -59,7 +61,10 @@ func runGuardedBy(pass *analysis.Pass) error {
 
 // collectGuardAnnotations maps annotated field objects to their mutex
 // field name, validating that the mutex field exists in the same struct.
-func collectGuardAnnotations(pass *analysis.Pass) map[types.Object]string {
+// The report callback receives annotations naming a missing mutex field
+// (guardedby diagnoses them; lockorder, which shares the annotations,
+// passes nil to avoid double-reporting).
+func collectGuardAnnotations(pass *analysis.Pass, report func(pos token.Pos, mu string)) map[types.Object]string {
 	guarded := make(map[types.Object]string)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -73,8 +78,9 @@ func collectGuardAnnotations(pass *analysis.Pass) map[types.Object]string {
 					continue
 				}
 				if !structHasField(st, mu) {
-					pass.Reportf(field.Pos(),
-						"skylint:guardedby names %q, but the struct has no such field", mu)
+					if report != nil {
+						report(field.Pos(), mu)
+					}
 					continue
 				}
 				for _, name := range field.Names {

@@ -25,7 +25,9 @@ import (
 	"crowdsky/internal/lint/analysis"
 )
 
-// All returns every skylint analyzer, in stable order.
+// All returns every skylint analyzer, in stable order: the first
+// generation of lexical checks, then the CFG/dataflow generation
+// (lockorder through goroleak) and the cross-package schema check.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		GuardedBy,
@@ -33,6 +35,11 @@ func All() []*analysis.Analyzer {
 		NilTrace,
 		FloatEq,
 		ErrDrop,
+		LockOrder,
+		CtxLeak,
+		WgBalance,
+		GoroLeak,
+		TraceSchema,
 	}
 }
 

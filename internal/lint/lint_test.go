@@ -1,6 +1,8 @@
 package lint_test
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -22,7 +24,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 // TestAnalyzerRegistry pins the analyzer set: removing one from All()
 // silently removes a correctness contract from CI.
 func TestAnalyzerRegistry(t *testing.T) {
-	want := []string{"guardedby", "detrange", "niltrace", "floateq", "errdrop"}
+	want := []string{
+		"guardedby", "detrange", "niltrace", "floateq", "errdrop",
+		"lockorder", "ctxleak", "wgbalance", "goroleak", "traceschema",
+	}
 	all := lint.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
@@ -37,5 +42,138 @@ func TestAnalyzerRegistry(t *testing.T) {
 		if a.Run == nil {
 			t.Errorf("analyzer %q has no Run", a.Name)
 		}
+	}
+}
+
+// TestSortFindings pins the deterministic diagnostic order: (file, line,
+// col, analyzer, message), numerically — not the lexical position-string
+// order where line 10 sorts before line 2.
+func TestSortFindings(t *testing.T) {
+	findings := []lint.Finding{
+		{File: "b.go", Line: 1, Col: 1, Analyzer: "zz", Message: "m"},
+		{File: "a.go", Line: 10, Col: 1, Analyzer: "aa", Message: "m"},
+		{File: "a.go", Line: 2, Col: 7, Analyzer: "aa", Message: "m"},
+		{File: "a.go", Line: 2, Col: 3, Analyzer: "bb", Message: "m"},
+		{File: "a.go", Line: 2, Col: 3, Analyzer: "aa", Message: "n"},
+		{File: "a.go", Line: 2, Col: 3, Analyzer: "aa", Message: "m"},
+	}
+	lint.SortFindings(findings)
+	got := make([]string, len(findings))
+	for i, f := range findings {
+		got[i] = f.Position() + " " + f.Analyzer + " " + f.Message
+	}
+	want := []string{
+		"a.go:2:3 aa m",
+		"a.go:2:3 aa n",
+		"a.go:2:3 bb m",
+		"a.go:2:7 aa m",
+		"a.go:10:1 aa m", // numeric: 10 after 2
+		"b.go:1:1 zz m",
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("after sort [%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestToSARIF checks the -sarif output is structurally valid SARIF 2.1.0:
+// version, schema, one run with driver rules, and one result per finding
+// with a physical location.
+func TestToSARIF(t *testing.T) {
+	findings := []lint.Finding{
+		{File: "internal/crowd/crowd.go", Line: 12, Col: 3, Analyzer: "ctxleak", Message: "leak"},
+		{File: "internal/core/skyline.go", Line: 40, Col: 9, Analyzer: "floateq", Message: "eq"},
+	}
+	raw, err := lint.ToSARIF(findings, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if v := doc["version"]; v != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", v)
+	}
+	if s, _ := doc["$schema"].(string); s == "" {
+		t.Error("missing $schema")
+	}
+	runs, _ := doc["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(runs))
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "skylint" {
+		t.Errorf("driver name = %v", driver["name"])
+	}
+	if rules, _ := driver["rules"].([]any); len(rules) != len(lint.All()) {
+		t.Errorf("driver rules = %d, want %d", len(rules), len(lint.All()))
+	}
+	results, _ := run["results"].([]any)
+	if len(results) != len(findings) {
+		t.Fatalf("results = %d, want %d", len(results), len(findings))
+	}
+	first := results[0].(map[string]any)
+	if first["ruleId"] != "ctxleak" {
+		t.Errorf("ruleId = %v", first["ruleId"])
+	}
+	locs := first["locations"].([]any)
+	phys := locs[0].(map[string]any)["physicalLocation"].(map[string]any)
+	uri := phys["artifactLocation"].(map[string]any)["uri"]
+	if uri != "internal/crowd/crowd.go" {
+		t.Errorf("uri = %v", uri)
+	}
+	region := phys["region"].(map[string]any)
+	if region["startLine"] != float64(12) || region["startColumn"] != float64(3) {
+		t.Errorf("region = %v", region)
+	}
+}
+
+// TestBaseline covers the load/apply cycle: matched entries are filtered,
+// unmatched findings are kept, and entries matching nothing are stale.
+func TestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	entries := []lint.BaselineEntry{
+		{File: "a.go", Analyzer: "ctxleak", Message: "old leak", Reason: "pre-existing, tracked in ROADMAP"},
+		{File: "gone.go", Analyzer: "floateq", Message: "fixed long ago", Reason: "obsolete"},
+	}
+	raw, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := lint.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := []lint.Finding{
+		{File: "a.go", Line: 3, Col: 1, Analyzer: "ctxleak", Message: "old leak"},
+		{File: "b.go", Line: 9, Col: 2, Analyzer: "ctxleak", Message: "new leak"},
+	}
+	kept, stale := lint.ApplyBaseline(findings, loaded)
+	if len(kept) != 1 || kept[0].Message != "new leak" {
+		t.Errorf("kept = %+v, want only the new leak", kept)
+	}
+	if len(stale) != 1 || stale[0].File != "gone.go" {
+		t.Errorf("stale = %+v, want the gone.go entry", stale)
+	}
+}
+
+// TestBaselineRequiresReason rejects entries without a justification: a
+// baseline is a debt register, and debt without a reason is just debt.
+func TestBaselineRequiresReason(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	blob := `[{"file":"a.go","analyzer":"ctxleak","message":"m","reason":""}]`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lint.LoadBaseline(path); err == nil {
+		t.Error("baseline entry without a reason must not load")
 	}
 }

@@ -31,20 +31,32 @@ type Package struct {
 	Info    *types.Info
 }
 
+// Options selects what Load feeds the type checker.
+type Options struct {
+	// Tests includes each package's in-package _test.go files
+	// (TestGoFiles), so the flow-sensitive concurrency analyzers can audit
+	// test goroutines and context use too. External test packages
+	// (XTestGoFiles, package foo_test) are not loaded: they form a second
+	// package over the same directory, which the shared-FileSet pipeline
+	// does not model.
+	Tests bool
+}
+
 // listEntry is the subset of `go list -json` output the loader consumes.
 type listEntry struct {
-	ImportPath string
-	Name       string
-	Dir        string
-	GoFiles    []string
-	CgoFiles   []string
+	ImportPath  string
+	Name        string
+	Dir         string
+	GoFiles     []string
+	CgoFiles    []string
+	TestGoFiles []string
 }
 
 // Load enumerates the packages matching patterns (e.g. "./...") relative
-// to dir, parses their non-test sources and type-checks them. All packages
-// share one FileSet and one source importer, so the standard library is
+// to dir, parses their sources and type-checks them. All packages share
+// one FileSet and one source importer, so the standard library is
 // type-checked once per process, not once per package.
-func Load(dir string, patterns []string) ([]*Package, error) {
+func Load(dir string, patterns []string, opts Options) ([]*Package, error) {
 	entries, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
@@ -53,7 +65,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	imp := importer.ForCompiler(fset, "source", nil)
 	var out []*Package
 	for _, e := range entries {
-		pkg, err := loadOne(fset, imp, e)
+		pkg, err := loadOne(fset, imp, e, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -80,7 +92,7 @@ func LoadDir(dir, pkgPath string) (*Package, error) {
 }
 
 func goList(dir string, patterns []string) ([]listEntry, error) {
-	args := append([]string{"list", "-json=ImportPath,Name,Dir,GoFiles,CgoFiles"}, patterns...)
+	args := append([]string{"list", "-json=ImportPath,Name,Dir,GoFiles,CgoFiles,TestGoFiles"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
@@ -101,12 +113,16 @@ func goList(dir string, patterns []string) ([]listEntry, error) {
 	return entries, nil
 }
 
-func loadOne(fset *token.FileSet, imp types.Importer, e listEntry) (*Package, error) {
+func loadOne(fset *token.FileSet, imp types.Importer, e listEntry, opts Options) (*Package, error) {
 	if len(e.CgoFiles) > 0 {
 		return nil, fmt.Errorf("loader: package %s uses cgo, which skylint does not support", e.ImportPath)
 	}
-	files := make([]string, len(e.GoFiles))
-	for i, f := range e.GoFiles {
+	names := e.GoFiles
+	if opts.Tests {
+		names = append(append([]string(nil), e.GoFiles...), e.TestGoFiles...)
+	}
+	files := make([]string, len(names))
+	for i, f := range names {
 		files[i] = filepath.Join(e.Dir, f)
 	}
 	return typecheck(fset, imp, e.ImportPath, e.Dir, files)

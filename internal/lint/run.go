@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 
 	"crowdsky/internal/lint/analysis"
@@ -10,63 +11,135 @@ import (
 
 // Finding is one diagnostic with its resolved source position.
 type Finding struct {
-	Position string // file:line:col
-	Analyzer string
-	Message  string
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Position renders the finding's location as file:line:col.
+func (f Finding) Position() string {
+	return fmt.Sprintf("%s:%d:%d", f.File, f.Line, f.Col)
 }
 
 func (f Finding) String() string {
-	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+	return fmt.Sprintf("%s: %s: %s", f.Position(), f.Analyzer, f.Message)
 }
 
-// RunPackage runs the given analyzers over one loaded package and returns
-// the surviving (non-suppressed) findings sorted by position.
-func RunPackage(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
-	var findings []Finding
-	for _, a := range analyzers {
-		pass := &analysis.Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Pkg,
-			PkgPath:  pkg.PkgPath,
-			Info:     pkg.Info,
+// SortFindings orders findings by (file, line, col, analyzer, message) —
+// numerically on line and column, not lexically on the rendered position —
+// so skylint output is byte-stable and diffable across runs and machines.
+func SortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		pass.BuildIgnores()
-		pass.SetReporter(func(d analysis.Diagnostic) {
-			findings = append(findings, Finding{
-				Position: pkg.Fset.Position(d.Pos).String(),
-				Analyzer: d.Analyzer,
-				Message:  d.Message,
-			})
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// runOne applies one analyzer's Run phase to one package, appending
+// surviving findings through sink.
+func runOne(pkg *loader.Package, a *analysis.Analyzer, prog *analysis.Program, sink *[]Finding) error {
+	pass := &analysis.Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Pkg,
+		PkgPath:  pkg.PkgPath,
+		Info:     pkg.Info,
+	}
+	pass.BuildIgnores()
+	pass.SetProgram(prog)
+	pass.SetReporter(func(d analysis.Diagnostic) {
+		pos := pkg.Fset.Position(d.Pos)
+		*sink = append(*sink, Finding{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
 		})
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
+	})
+	if err := a.Run(pass); err != nil {
+		return fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	return nil
+}
+
+// finish runs the Finish phase of every analyzer that has one. Diagnostics
+// reported from Finish flow through the passes the facts were recorded
+// under, which the reporters installed by runOne still serve.
+func finish(analyzers []*analysis.Analyzer, prog *analysis.Program) error {
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		if err := a.Finish(prog); err != nil {
+			return fmt.Errorf("lint: analyzer %s finish: %w", a.Name, err)
 		}
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		if findings[i].Position != findings[j].Position {
-			return findings[i].Position < findings[j].Position
+	return nil
+}
+
+// RunPackage runs the given analyzers (both phases) over one loaded
+// package and returns the surviving findings in deterministic order.
+// Cross-package analyzers see a single-package program.
+func RunPackage(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	prog := analysis.NewProgram()
+	for _, a := range analyzers {
+		if err := runOne(pkg, a, prog, &findings); err != nil {
+			return nil, err
 		}
-		return findings[i].Analyzer < findings[j].Analyzer
-	})
+	}
+	if err := finish(analyzers, prog); err != nil {
+		return nil, err
+	}
+	SortFindings(findings)
 	return findings, nil
 }
 
 // Run loads the packages matching patterns under dir and runs every
-// analyzer over each, returning all findings in package order.
-func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
-	pkgs, err := loader.Load(dir, patterns)
+// analyzer over each (Run per package, then one Finish per analyzer over
+// the whole program), returning all findings sorted by (file, line, col,
+// analyzer). File names are reported relative to dir where possible.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer, opts loader.Options) ([]Finding, error) {
+	pkgs, err := loader.Load(dir, patterns, opts)
 	if err != nil {
 		return nil, err
 	}
 	var all []Finding
+	prog := analysis.NewProgram()
 	for _, pkg := range pkgs {
-		fs, err := RunPackage(pkg, analyzers)
-		if err != nil {
-			return nil, err
+		for _, a := range analyzers {
+			if err := runOne(pkg, a, prog, &all); err != nil {
+				return nil, err
+			}
 		}
-		all = append(all, fs...)
 	}
+	if err := finish(analyzers, prog); err != nil {
+		return nil, err
+	}
+	absDir, err := filepath.Abs(dir)
+	if err == nil {
+		for i := range all {
+			if rel, rerr := filepath.Rel(absDir, all[i].File); rerr == nil && !filepath.IsAbs(rel) && rel[0] != '.' {
+				all[i].File = rel
+			}
+		}
+	}
+	SortFindings(all)
 	return all, nil
 }

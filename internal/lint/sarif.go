@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"encoding/json"
+
+	"crowdsky/internal/lint/analysis"
+)
+
+// This file renders findings in machine-readable forms: plain JSON for
+// scripting and SARIF 2.1.0 for code-scanning UIs (GitHub uploads, IDE
+// plugins). The SARIF writer emits only the properties skylint has real
+// values for — a minimal, schema-valid subset of the format.
+
+// SARIF 2.1.0 document structure (the subset skylint emits).
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+const sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// ToSARIF renders findings as a SARIF 2.1.0 log. The analyzers parameter
+// populates the rule table (every registered analyzer appears, found or
+// not, so rule metadata is stable across runs); findings must already be
+// sorted if deterministic output matters to the caller.
+func ToSARIF(findings []Finding, analyzers []*analysis.Analyzer) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+	doc := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "skylint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// ToJSON renders findings as a plain JSON array of
+// {file, line, col, analyzer, message} objects.
+func ToJSON(findings []Finding) ([]byte, error) {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	return json.MarshalIndent(findings, "", "  ")
+}

@@ -1,0 +1,117 @@
+// Package goroleak is the fixture for the goroleak analyzer: goroutines
+// must be stoppable — unbuffered sends need a receiver on every path of
+// the spawning function, and worker loops need an exit when a stop
+// signal is in scope.
+package goroleak
+
+import "context"
+
+func work() error { return nil }
+
+func handle(int) {}
+
+func consume(<-chan error) {}
+
+// sendNoReceiveOnErrorPath leaks: when fail is true the function returns
+// without ever receiving, and the goroutine blocks on the send forever.
+func sendNoReceiveOnErrorPath(fail bool) error {
+	errCh := make(chan error)
+	go func() { // want `some path .* never receives`
+		errCh <- work()
+	}()
+	if fail {
+		return nil
+	}
+	return <-errCh
+}
+
+// sendAlwaysReceived is the clean version: the only path out receives.
+func sendAlwaysReceived() error {
+	errCh := make(chan error)
+	go func() {
+		errCh <- work()
+	}()
+	return <-errCh
+}
+
+// bufferedOK cannot block the sender: capacity 1 absorbs the result even
+// when nobody receives.
+func bufferedOK(fail bool) error {
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- work()
+	}()
+	if fail {
+		return nil
+	}
+	return <-errCh
+}
+
+// escapeOK hands the channel to another function on the non-receiving
+// path, which discharges the obligation here.
+func escapeOK(fail bool) error {
+	errCh := make(chan error)
+	go func() {
+		errCh <- work()
+	}()
+	if fail {
+		consume(errCh)
+		return nil
+	}
+	return <-errCh
+}
+
+// workerIgnoresStop leaks: a stop signal (ctx) is in scope, but the
+// spawned loop has no reachable return or terminating call.
+func workerIgnoresStop(ctx context.Context, jobs chan int) {
+	go func() { // want `can never exit`
+		for {
+			select {
+			case j := <-jobs:
+				handle(j)
+			}
+		}
+	}()
+}
+
+// workerHonorsStop exits through the ctx.Done case.
+func workerHonorsStop(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case j := <-jobs:
+				handle(j)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// processLifetimeLoop is deliberately unflagged: no context or done
+// channel is in scope, so running until process exit is the contract.
+func processLifetimeLoop(jobs chan int) {
+	go func() {
+		for {
+			select {
+			case j := <-jobs:
+				handle(j)
+			}
+		}
+	}()
+}
+
+// doneChannelStop exits when the done channel closes; the done channel
+// itself is the stop signal that puts the function in scope.
+func doneChannelStop(done chan struct{}, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case j := <-jobs:
+				handle(j)
+			case <-done:
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,95 @@
+// Package lockorder is the fixture for the lockorder analyzer: the
+// cross-function lock-acquisition graph must stay acyclic.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	rw  sync.RWMutex
+)
+
+// abOrder acquires muB while holding muA: the A→B edge. The cycle
+// diagnostic lands here because this is the lexicographically first edge
+// of the A/B cycle closed by baOrder below.
+func abOrder() {
+	muA.Lock()
+	muB.Lock() // want `lock order cycle`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// baOrder closes the cycle with the opposite order.
+func baOrder() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// doubleLock deadlocks against itself immediately.
+func doubleLock() {
+	muA.Lock()
+	muA.Lock() // want `already held`
+	muA.Unlock()
+	muA.Unlock()
+}
+
+// doubleRLockOK: nested read locks do not self-deadlock.
+func doubleRLockOK() {
+	rw.RLock()
+	rw.RLock()
+	rw.RUnlock()
+	rw.RUnlock()
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump is the ordinary single-lock pattern: no edges, no findings.
+func (c *counter) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// flushLocked runs with c.mu already held (the Locked suffix is the
+// contract), so acquiring muA records the counter.mu→muA edge; the
+// cycle diagnostic lands on this edge because counter.mu sorts first.
+func (c *counter) flushLocked() {
+	muA.Lock() // want `lock order cycle`
+	c.n = 0
+	muA.Unlock()
+}
+
+// lockThenTouch closes the second cycle: muA→counter.mu.
+func lockThenTouch(c *counter) {
+	muA.Lock()
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	muA.Unlock()
+}
+
+// sequentialOK acquires the same mutexes one after the other, never
+// nested: no edges at all.
+func sequentialOK() {
+	muA.Lock()
+	muA.Unlock()
+	muB.Lock()
+	muB.Unlock()
+}
+
+// closureOwnUnit: a function literal is its own unit — the lock held
+// outside does not leak into the closure's held-set (it runs later).
+func closureOwnUnit() func() {
+	muB.Lock()
+	defer muB.Unlock()
+	return func() {
+		muB.Lock()
+		defer muB.Unlock()
+	}
+}

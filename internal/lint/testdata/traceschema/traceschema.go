@@ -1,0 +1,68 @@
+// Package traceschema is the fixture for the traceschema analyzer: event
+// constructors and literals must agree with the skylint:eventschema
+// registry.
+package traceschema
+
+// EventType names a trace event, mirroring the telemetry package.
+type EventType string
+
+const (
+	EventGood EventType = "good"
+	EventBad  EventType = "bad"
+	// EventOrphan is emitted somewhere but was never registered.
+	EventOrphan EventType = "orphan" // want `has no skylint:eventschema entry`
+)
+
+// skylint:eventschema
+var eventSchemas = map[EventType][]string{
+	EventGood: {"round", "questions"},
+	EventBad:  {"round", "missing_field"}, // want `no field with that json tag`
+}
+
+// Event is the fixture's wire format. The implicit fields (seq, time,
+// type, tuple, a, b) are allowed on every event type.
+type Event struct {
+	Seq       int       `json:"seq,omitempty"`
+	Type      EventType `json:"type"`
+	Round     int       `json:"round,omitempty"`
+	Questions int       `json:"questions,omitempty"`
+	Extra     int       `json:"extra,omitempty"`
+}
+
+func newEvent(t EventType) Event {
+	return Event{Type: t}
+}
+
+func sink(Event) {}
+
+// GoodEvent assigns exactly the registered fields of "good".
+func GoodEvent(round, questions int) Event {
+	e := newEvent(EventGood)
+	e.Round, e.Questions = round, questions
+	return e
+}
+
+// MissingField forgets a registered field: consumers of "good" events
+// would read a zero questions count.
+func MissingField(round int) Event { // want `never assigns field "questions"`
+	e := newEvent(EventGood)
+	e.Round = round
+	return e
+}
+
+// StrayField populates a field the schema does not list: a silent
+// wire-format break.
+func StrayField(round, questions, extra int) Event { // want `assigns field "extra"`
+	e := newEvent(EventGood)
+	e.Round, e.Questions, e.Extra = round, questions, extra
+	return e
+}
+
+// emitLiterals exercises the Finish-phase literal check, which also
+// covers Event literals in other packages.
+func emitLiterals(round int) {
+	sink(Event{Type: EventGood, Round: round})
+	sink(Event{Type: EventGood, Extra: 1}) // want `sets field "extra"`
+	sink(Event{Type: "mystery", Round: 1}) // want `no skylint:eventschema entry`
+	sink(Event{Type: EventGood, Seq: 1})   // implicit field: clean
+}

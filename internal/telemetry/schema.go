@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// This file is the trace-event schema registry: the single authoritative
+// statement of which event types exist and which JSON fields each one
+// carries. Consumers of `crowdsky -trace` output (dashboards, the
+// EXPERIMENTS.md notebooks, ad-hoc jq) parse against these names, so an
+// emitter drifting from the registry is a wire-format break even though
+// everything still compiles. Two mechanisms hold the line:
+//
+//   - statically, the skylint traceschema analyzer proves every
+//     constructor in this package and every telemetry.Event literal in the
+//     tree populates exactly the registered fields of its event type;
+//   - at runtime, ValidateEvent lets tests and trace tooling reject events
+//     that carry an unknown type or stray fields.
+
+// eventSchemas maps every trace event type to the JSON field names its
+// emitters must populate. Bookkeeping fields (seq, time, type) and the
+// -1-defaulted identity fields (tuple, a, b) are implicit and never listed.
+//
+// skylint:eventschema
+var eventSchemas = map[EventType][]string{
+	EventRunStart:        {"algo", "n", "crowd_dims"},
+	EventRunEnd:          {"questions", "rounds", "skyline"},
+	EventRoundStart:      {"round", "questions"},
+	EventRoundEnd:        {"round", "questions", "duration_ms"},
+	EventP1Prune:         {"tuple", "before", "after", "removed"},
+	EventP2Reduce:        {"tuple", "before", "after", "removed"},
+	EventP3Resolve:       {"tuple", "a", "removed"},
+	EventVoteEscalation:  {"a", "b", "workers", "base"},
+	EventBudgetTruncated: {"questions", "budget"},
+	EventIndexBuild:      {"n", "pairs", "bytes", "duration_ms"},
+}
+
+// implicitFields are populated by the event plumbing (newEvent, tracers)
+// rather than per-type constructors, and may appear on any event.
+var implicitFields = map[string]bool{
+	"seq": true, "time": true, "type": true,
+	"tuple": true, "a": true, "b": true,
+}
+
+// SchemaOf returns the registered JSON field names for event type t, and
+// whether t is registered at all.
+func SchemaOf(t EventType) ([]string, bool) {
+	fields, ok := eventSchemas[t]
+	return fields, ok
+}
+
+// EventTypes returns every registered event type, sorted, for consumers
+// that enumerate the trace vocabulary (docs, -trace tooling).
+func EventTypes() []EventType {
+	out := make([]EventType, 0, len(eventSchemas))
+	for t := range eventSchemas {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ValidateEvent checks e against the registry: its type must be
+// registered, and every non-zero field must be either implicit or listed
+// in the type's schema. (The converse — required fields being non-zero —
+// is not checked here, because zero is a legitimate value for counters
+// like `removed`; the static traceschema analyzer proves the constructors
+// assign every required field.)
+func ValidateEvent(e Event) error {
+	schema, ok := eventSchemas[e.Type]
+	if !ok {
+		return fmt.Errorf("telemetry: event type %q is not in the schema registry", e.Type)
+	}
+	allowed := make(map[string]bool, len(schema))
+	for _, f := range schema {
+		allowed[f] = true
+	}
+	v := reflect.ValueOf(e)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		name := jsonName(t.Field(i))
+		if name == "" || implicitFields[name] || allowed[name] {
+			continue
+		}
+		if !v.Field(i).IsZero() {
+			return fmt.Errorf("telemetry: %s event carries field %q, which its schema does not list", e.Type, name)
+		}
+	}
+	return nil
+}
+
+// jsonName extracts the wire name from a struct field's json tag.
+func jsonName(f reflect.StructField) string {
+	tag := f.Tag.Get("json")
+	if tag == "" || tag == "-" {
+		return ""
+	}
+	if i := strings.IndexByte(tag, ','); i >= 0 {
+		tag = tag[:i]
+	}
+	return tag
+}

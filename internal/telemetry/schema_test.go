@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestConstructorsMatchSchema is the runtime mirror of the static
+// traceschema analyzer: every constructor's output must validate against
+// the registry.
+func TestConstructorsMatchSchema(t *testing.T) {
+	events := map[string]Event{
+		"RunStart":        RunStart("crowdsky", 10, 1),
+		"RunEnd":          RunEnd(12, 6, 3),
+		"RoundStart":      RoundStart(1, 4),
+		"RoundEnd":        RoundEnd(1, 4, 5*time.Millisecond),
+		"P1Prune":         P1Prune(3, 7, 4),
+		"P2Reduce":        P2Reduce(3, 4, 2),
+		"P3Resolve":       P3Resolve(3, 1),
+		"VoteEscalation":  VoteEscalation(1, 2, 5, 3),
+		"BudgetTruncated": BudgetTruncated(100, 90),
+		"IndexBuild":      IndexBuild(10, 45, 1024, 2*time.Millisecond),
+	}
+	for name, e := range events {
+		if err := ValidateEvent(e); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestEveryEventTypeHasSchema pins the registry to the declared constants:
+// adding an event type without registering its fields must fail.
+func TestEveryEventTypeHasSchema(t *testing.T) {
+	all := []EventType{
+		EventRunStart, EventRunEnd, EventRoundStart, EventRoundEnd,
+		EventP1Prune, EventP2Reduce, EventP3Resolve,
+		EventVoteEscalation, EventBudgetTruncated, EventIndexBuild,
+	}
+	if got := len(EventTypes()); got != len(all) {
+		t.Fatalf("registry has %d event types, want %d", got, len(all))
+	}
+	for _, et := range all {
+		if _, ok := SchemaOf(et); !ok {
+			t.Errorf("event type %q has no schema entry", et)
+		}
+	}
+}
+
+func TestValidateEventRejects(t *testing.T) {
+	// skylint:ignore traceschema intentionally unregistered type for the negative test
+	if err := ValidateEvent(Event{Type: "mystery"}); err == nil {
+		t.Errorf("unknown event type must not validate")
+	}
+	// A round_start must not carry index_build's pairs field.
+	e := RoundStart(1, 4)
+	e.Pairs = 9
+	if err := ValidateEvent(e); err == nil {
+		t.Errorf("stray field must not validate")
+	}
+	// Implicit fields are always allowed.
+	e2 := RoundStart(1, 4)
+	e2.Seq, e2.Time = 7, time.Now()
+	if err := ValidateEvent(e2); err != nil {
+		t.Errorf("implicit fields rejected: %v", err)
+	}
+}
