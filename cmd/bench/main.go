@@ -7,6 +7,12 @@
 //	go run ./cmd/bench -out BENCH_PR4.json
 //	go run ./cmd/bench -quick -out bench-smoke.json   # CI smoke, n=1000 only
 //	go run ./cmd/bench -sizes 1000,10000 -out -       # custom sizes, stdout
+//	go run ./cmd/bench -quick -out s.json -compare BENCH_PR4.json
+//
+// -compare prints a Markdown table against a baseline report (only ops
+// measured in both at the same n), flagging ns/op regressions above 10%.
+// It is a soft gate: regressions are reported, never a non-zero exit —
+// CI appends the table to the job summary.
 //
 // Each op is measured with testing.Benchmark (standard ns/op, B/op,
 // allocs/op semantics). The *_scan ops are the pre-index kernels kept in
@@ -19,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
@@ -141,6 +148,7 @@ func main() {
 		sizesCS = flag.String("sizes", "1000,5000,10000,20000", "comma-separated dataset cardinalities")
 		quick   = flag.Bool("quick", false, "smoke mode: n=1000 only (overrides -sizes)")
 		seed    = flag.Int64("seed", 1, "dataset generator seed")
+		baseCmp = flag.String("compare", "", "baseline BENCH_*.json: print a Markdown ns/op comparison and flag >10% regressions (never fails the run)")
 	)
 	flag.Parse()
 
@@ -193,11 +201,72 @@ func main() {
 	enc = append(enc, '\n')
 	if *outPath == "-" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d results)\n", *outPath, len(rep.Results))
 	}
-	if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+
+	if *baseCmp != "" {
+		data, err := os.ReadFile(*baseCmp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: compare:", err)
+			os.Exit(1)
+		}
+		var base report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: compare:", err)
+			os.Exit(1)
+		}
+		// Soft gate by design (see package comment): the exit code stays 0
+		// even with regressions, because CI machines are not the baseline
+		// machine and a hard gate on cross-machine ns/op would flake.
+		compareReports(os.Stdout, *baseCmp, base, rep, 0.10)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%d results)\n", *outPath, len(rep.Results))
+}
+
+// compareReports writes a Markdown comparison of cur against base to w:
+// one row per (op, n) measured in both, with the ns/op delta, flagging
+// regressions above threshold. Returns the number of flagged rows.
+func compareReports(w io.Writer, baseName string, base, cur report, threshold float64) int {
+	type key struct {
+		op string
+		n  int
+	}
+	baseline := make(map[key]result, len(base.Results))
+	for _, r := range base.Results {
+		baseline[key{r.Op, r.N}] = r
+	}
+	fmt.Fprintf(w, "### Bench comparison vs %s\n\n", baseName)
+	if base.Go != cur.Go || base.GOARCH != cur.GOARCH || base.CPUs != cur.CPUs {
+		fmt.Fprintf(w, "> environment differs from baseline (%s/%s/%d CPUs vs %s/%s/%d CPUs) — deltas are indicative only\n\n",
+			cur.Go, cur.GOARCH, cur.CPUs, base.Go, base.GOARCH, base.CPUs)
+	}
+	fmt.Fprintln(w, "| op | n | baseline ns/op | current ns/op | delta |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|")
+	regressions, compared := 0, 0
+	for _, r := range cur.Results {
+		b, ok := baseline[key{r.Op, r.N}]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		delta := (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+		mark := ""
+		if delta > threshold {
+			mark = " ⚠️"
+			regressions++
+		}
+		fmt.Fprintf(w, "| %s | %d | %.0f | %.0f | %+.1f%%%s |\n", r.Op, r.N, b.NsPerOp, r.NsPerOp, 100*delta, mark)
+	}
+	if compared == 0 {
+		fmt.Fprintln(w, "\nno overlapping (op, n) measurements — nothing compared")
+	} else if regressions > 0 {
+		fmt.Fprintf(w, "\n**%d of %d ops regressed more than %.0f%% ns/op** (soft gate — not failing the job)\n", regressions, compared, 100*threshold)
+	} else {
+		fmt.Fprintf(w, "\nno ns/op regressions above %.0f%% across %d compared ops\n", 100*threshold, compared)
+	}
+	return regressions
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareReportsFlagsRegressions(t *testing.T) {
+	base := report{
+		Go: "go1.22", GOARCH: "amd64", CPUs: 8,
+		Results: []result{
+			{Op: "index_build", N: 1000, NsPerOp: 1000},
+			{Op: "oracle_skyline_index", N: 1000, NsPerOp: 2000},
+			{Op: "only_in_base", N: 1000, NsPerOp: 50},
+		},
+	}
+	cur := report{
+		Go: "go1.22", GOARCH: "amd64", CPUs: 8,
+		Results: []result{
+			{Op: "index_build", N: 1000, NsPerOp: 1200},          // +20%: regression
+			{Op: "oracle_skyline_index", N: 1000, NsPerOp: 1900}, // -5%: fine
+			{Op: "only_in_current", N: 1000, NsPerOp: 10},        // no baseline
+		},
+	}
+	var sb strings.Builder
+	got := compareReports(&sb, "BENCH_PR4.json", base, cur, 0.10)
+	if got != 1 {
+		t.Errorf("regressions = %d, want 1\n%s", got, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "index_build | 1000 | 1000 | 1200 | +20.0% ⚠️") {
+		t.Errorf("regression row missing or mis-rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "1 of 2 ops regressed") {
+		t.Errorf("summary line wrong:\n%s", out)
+	}
+	if strings.Contains(out, "only_in_base") || strings.Contains(out, "only_in_current") {
+		t.Errorf("non-overlapping ops must be skipped:\n%s", out)
+	}
+	if strings.Contains(out, "environment differs") {
+		t.Errorf("matching environments flagged as different:\n%s", out)
+	}
+}
+
+func TestCompareReportsEnvMismatchAndClean(t *testing.T) {
+	base := report{Go: "go1.21", GOARCH: "arm64", CPUs: 4,
+		Results: []result{{Op: "index_build", N: 1000, NsPerOp: 1000}}}
+	cur := report{Go: "go1.22", GOARCH: "amd64", CPUs: 8,
+		Results: []result{{Op: "index_build", N: 1000, NsPerOp: 1050}}}
+	var sb strings.Builder
+	if got := compareReports(&sb, "b.json", base, cur, 0.10); got != 0 {
+		t.Errorf("regressions = %d, want 0", got)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "environment differs") {
+		t.Errorf("env mismatch not noted:\n%s", out)
+	}
+	if !strings.Contains(out, "no ns/op regressions above 10%") {
+		t.Errorf("clean summary missing:\n%s", out)
+	}
+}
+
+func TestCompareReportsNoOverlap(t *testing.T) {
+	var sb strings.Builder
+	compareReports(&sb, "b.json", report{}, report{
+		Results: []result{{Op: "x", N: 1, NsPerOp: 5}},
+	}, 0.10)
+	if !strings.Contains(sb.String(), "nothing compared") {
+		t.Errorf("empty overlap not reported:\n%s", sb.String())
+	}
+}

@@ -43,6 +43,7 @@ func main() {
 		lease       = flag.Duration("lease", crowdserve.DefaultLease, "assignment lease duration")
 		seed        = flag.Int64("seed", 1, "simulated worker seed")
 		state       = flag.String("state", "", "snapshot file: state is restored at startup and saved on SIGINT/SIGTERM and periodically")
+		tracePath   = flag.String("trace", "", "write server-side JSONL span events (lease waits, judgments, vote resolution) to this file")
 		verbose     = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Parse()
@@ -56,6 +57,23 @@ func main() {
 
 	srv := crowdserve.NewServer()
 	srv.SetLease(*lease)
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			logger.Error("creating trace file", "file", *tracePath, "err", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tracer := crowdsky.NewJSONLTracer(f)
+		srv.SetTracer(tracer)
+		defer func() {
+			if err := crowdsky.TracerErr(tracer); err != nil {
+				logger.Error("trace writes failed", "file", *tracePath, "err", err)
+			}
+		}()
+		logger.Info("server-side tracing enabled", "file", *tracePath)
+	}
 
 	if *state != "" {
 		if err := srv.LoadFile(*state); err != nil {

@@ -23,10 +23,12 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"strings"
 
 	"crowdsky"
@@ -90,7 +92,12 @@ func main() {
 		pf = wrapped
 	}
 
-	cfg := crowdsky.RunConfig{}
+	// Ctrl-C cancels the run context so a marketplace-backed run stops
+	// polling promptly instead of waiting out its poll interval.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := crowdsky.RunConfig{Context: ctx}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {

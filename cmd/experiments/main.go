@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -22,6 +23,7 @@ import (
 	"strings"
 
 	"crowdsky/internal/experiments"
+	"crowdsky/internal/telemetry"
 )
 
 func main() {
@@ -34,6 +36,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base random seed")
 		verbose = flag.Bool("v", false, "print per-point progress")
 		outDir  = flag.String("out", "", "also write each figure as CSV into this directory")
+		trace   = flag.String("trace", "", "write one JSONL span per experiment to this file (inspect with skytrace)")
 	)
 	flag.Parse()
 
@@ -70,6 +73,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	// With -trace, the whole invocation is a root span and every
+	// experiment a child, so skytrace's waterfall shows which figures
+	// dominate an -all regeneration.
+	var tracer telemetry.Tracer
+	ctx := context.Background()
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		jsonl := telemetry.NewJSONL(f)
+		tracer = jsonl
+		defer func() {
+			if err := jsonl.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+			}
+		}()
+		var root *telemetry.Span
+		ctx, root = telemetry.StartSpan(ctx, tracer, "experiments")
+		defer root.End()
+	}
+
 	for i, id := range ids {
 		runner, ok := experiments.Registry[id]
 		if !ok {
@@ -79,16 +106,22 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
+		_, span := telemetry.StartSpan(ctx, tracer, "experiment")
+		span.SetAttr("id", id)
 		if *outDir != "" {
 			if builder, hasFig := experiments.FigureBuilders[id]; hasFig {
-				if err := exportCSV(cfg, *outDir, id, builder); err != nil {
+				err := exportCSV(cfg, *outDir, id, builder)
+				span.End()
+				if err != nil {
 					fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
 					os.Exit(1)
 				}
 				continue
 			}
 		}
-		if err := runner(cfg, os.Stdout); err != nil {
+		err := runner(cfg, os.Stdout)
+		span.End()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
 			os.Exit(1)
 		}

@@ -34,6 +34,7 @@
 package crowdsky
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -206,6 +207,10 @@ type RunConfig struct {
 	// Tracer, when non-nil, receives structured trace events during the
 	// run. Nil disables tracing at no measurable cost.
 	Tracer Tracer
+	// Context, when non-nil, is the run's base context: cancelling it
+	// aborts context-aware platforms (the HTTP marketplace client) between
+	// polls, and trace spans started under it parent the run's span tree.
+	Context context.Context
 }
 
 // StaticVoting returns the static majority-voting policy: omega workers for
@@ -278,6 +283,7 @@ func Run(d *Dataset, pf Platform, cfg RunConfig) (*Result, error) {
 		RoundRobinAC: cfg.RoundRobinAC,
 		MaxQuestions: cfg.Budget,
 		Tracer:       cfg.Tracer,
+		Context:      cfg.Context,
 	}
 	switch cfg.Parallelism {
 	case Serial:

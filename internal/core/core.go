@@ -20,8 +20,10 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
+	"strconv"
 	"time"
 
 	"crowdsky/internal/crowd"
@@ -82,6 +84,11 @@ type Options struct {
 	// degenerate-case preprocessing removed nothing; otherwise the session
 	// builds its own restricted index.
 	Index *skyline.Index
+	// Context, when non-nil, is the run's base context: it is forwarded to
+	// context-aware platforms (crowd.ContextPlatform) on every round for
+	// cancellation, and it parents the run's span tree (an enclosing span
+	// placed with telemetry.ContextWithSpan makes the run a child span).
+	Context context.Context
 }
 
 // ProbeOrder selects the ordering of P3's probing questions.
@@ -155,6 +162,12 @@ type session struct {
 	// trace receives structured events; nil means tracing is disabled and
 	// every emission site reduces to a pointer comparison.
 	trace telemetry.Tracer
+	// ctx is the caller-provided base context (never nil after
+	// newSession); runCtx carries the run span once emitRunStart started
+	// it, and rounds/sub-spans parent under it.
+	ctx     context.Context
+	runCtx  context.Context
+	runSpan *telemetry.Span
 
 	// useT selects whether completeness decisions may use transitive
 	// inference through the preference tree. The paper introduces the tree
@@ -183,6 +196,10 @@ func newSession(d *dataset.Dataset, pf crowd.Platform, opts Options) *session {
 	if policy == nil {
 		policy = voting.Static{Omega: 1}
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s := &session{
 		d:            d,
 		pf:           pf,
@@ -191,6 +208,7 @@ func newSession(d *dataset.Dataset, pf crowd.Platform, opts Options) *session {
 		maxQuestions: opts.MaxQuestions,
 		useT:         opts.P2 || opts.P3,
 		trace:        opts.Tracer,
+		ctx:          ctx,
 		sharedIx:     opts.Index,
 		direct:       make(map[directKey]crowd.Preference),
 		alive:        make([]bool, d.N()),
@@ -208,11 +226,25 @@ func newSession(d *dataset.Dataset, pf crowd.Platform, opts Options) *session {
 	return s
 }
 
-// emitRunStart emits the run_start trace event for the named algorithm.
+// emitRunStart emits the run_start trace event for the named algorithm
+// and opens the run's root span; every round and machine-phase span
+// parents under it, and finish closes it.
 func (ss *session) emitRunStart(algo string) {
 	if ss.trace != nil {
 		ss.trace.Emit(telemetry.RunStart(algo, ss.d.N(), ss.d.CrowdDims()))
 	}
+	ss.runCtx, ss.runSpan = telemetry.StartSpan(ss.ctx, ss.trace, "run")
+	ss.runSpan.SetAttr("algo", algo)
+	ss.runSpan.SetAttr("n", strconv.Itoa(ss.d.N()))
+}
+
+// runContext returns the context rounds should run under: the run-span
+// context once the run started, else the caller's base context.
+func (ss *session) runContext() context.Context {
+	if ss.runCtx != nil {
+		return ss.runCtx
+	}
+	return ss.ctx
 }
 
 // seedStoredValues pre-loads the preference graphs with the relations
@@ -548,13 +580,19 @@ func (ss *session) askRound(reqs []crowd.Request) {
 // slow, potentially real-money) platform call.
 func (ss *session) doAsk(reqs []crowd.Request) {
 	if ss.trace == nil {
-		ss.apply(ss.pf.Ask(reqs))
+		// Tracing off, but the caller's context still reaches the
+		// platform for cancellation.
+		ss.apply(crowd.AskWithContext(ss.runContext(), ss.pf, reqs))
 		return
 	}
 	round := ss.pf.Stats().Rounds() + 1
 	ss.trace.Emit(telemetry.RoundStart(round, len(reqs)))
+	rctx, span := telemetry.StartSpan(ss.runContext(), ss.trace, "round")
+	span.SetAttr("round", strconv.Itoa(round))
+	span.SetAttr("questions", strconv.Itoa(len(reqs)))
 	start := time.Now()
-	answers := ss.pf.Ask(reqs)
+	answers := crowd.AskWithContext(rctx, ss.pf, reqs)
+	span.End()
 	ss.trace.Emit(telemetry.RoundEnd(round, len(reqs), time.Since(start)))
 	ss.apply(answers)
 }
@@ -667,6 +705,12 @@ func (ss *session) finish(inSkyline []bool) *Result {
 	}
 	sort.Ints(sky)
 	st := ss.pf.Stats().Snapshot()
+	// The root span closes before run_end so the trace stays framed by
+	// run_start…run_end, the invariant downstream consumers rely on.
+	ss.runSpan.SetAttr("questions", strconv.Itoa(st.Questions))
+	ss.runSpan.SetAttr("rounds", strconv.Itoa(st.Rounds))
+	ss.runSpan.SetAttr("skyline", strconv.Itoa(len(sky)))
+	ss.runSpan.End()
 	if ss.trace != nil {
 		ss.trace.Emit(telemetry.RunEnd(st.Questions, st.Rounds, len(sky)))
 	}
@@ -703,11 +747,14 @@ func (ss *session) prepMachine() [][]int {
 		if !allAlive {
 			mask = ss.alive
 		}
+		_, ispan := telemetry.StartSpan(ss.runContext(), ss.trace, "index_build")
 		ss.ix = skyline.NewIndexAlive(ss.d, mask)
 		if ss.trace != nil {
 			st := ss.ix.Stats()
 			ss.trace.Emit(telemetry.IndexBuild(st.N, st.Pairs, st.BitmapBytes, st.BuildDuration))
+			ispan.SetAttr("pairs", strconv.Itoa(st.Pairs))
 		}
+		ispan.End()
 	}
 	sets := ss.ix.DominatingSets()
 	ss.fc = ss.ix.FreqCounter()

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"sort"
+	"strconv"
 
 	"crowdsky/internal/telemetry"
 )
@@ -42,7 +44,27 @@ type tupleEval struct {
 // list P(t) is generated and sorted by descending co-domination frequency
 // (Section 3.4).
 func newTupleEval(ss *session, t int, ds []int, opts Options, nonSkyline []bool) *tupleEval {
+	// The whole construction is the question-generation phase of tuple t;
+	// under tracing it becomes a "qgen" span with one sub-span per enabled
+	// pruning method, so skytrace can attribute machine time to P1/P2/P3.
+	var qctx context.Context
+	var qspan *telemetry.Span
+	if ss.trace != nil {
+		qctx, qspan = telemetry.StartSpan(ss.runContext(), ss.trace, "qgen")
+		qspan.SetAttr("tuple", strconv.Itoa(t))
+	}
+	phase := func(name string) *telemetry.Span {
+		if qspan == nil {
+			return nil
+		}
+		_, s := telemetry.StartSpan(qctx, ss.trace, name)
+		return s
+	}
 	te := &tupleEval{t: t, inDS: make([]bool, ss.d.N())}
+	var p1span *telemetry.Span
+	if opts.P1 {
+		p1span = phase("p1")
+	}
 	for _, s := range ds {
 		if opts.P1 && nonSkyline[s] {
 			continue
@@ -53,14 +75,18 @@ func newTupleEval(ss *session, t int, ds []int, opts Options, nonSkyline []bool)
 	if ss.trace != nil && opts.P1 && len(te.ds) < len(ds) {
 		ss.trace.Emit(telemetry.P1Prune(t, len(ds), len(te.ds)))
 	}
+	p1span.End()
 	if opts.P2 {
+		p2span := phase("p2")
 		before := len(te.ds)
 		te.reduceToACSkyline(ss)
 		if ss.trace != nil && len(te.ds) < before {
 			ss.trace.Emit(telemetry.P2Reduce(t, before, len(te.ds)))
 		}
+		p2span.End()
 	}
 	if opts.P3 && len(te.ds) > 1 {
+		p3span := phase("p3_order")
 		for i := 0; i < len(te.ds); i++ {
 			for j := i + 1; j < len(te.ds); j++ {
 				te.probe = append(te.probe, makePair(te.ds[i], te.ds[j]))
@@ -80,7 +106,10 @@ func newTupleEval(ss *session, t int, ds []int, opts Options, nonSkyline []bool)
 				return ss.freq(te.probe[x].a(), te.probe[x].b()) > ss.freq(te.probe[y].a(), te.probe[y].b())
 			})
 		}
+		p3span.End()
 	}
+	qspan.SetAttr("ds", strconv.Itoa(len(te.ds)))
+	qspan.End()
 	return te
 }
 

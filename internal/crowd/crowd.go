@@ -13,6 +13,7 @@
 package crowd
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -92,6 +93,29 @@ type Platform interface {
 	Ask(reqs []Request) []Answer
 	// Stats returns the accounting accumulated so far.
 	Stats() *Stats
+}
+
+// ContextPlatform is implemented by platforms that honour a
+// context.Context per round: cancellation for remote marketplaces whose
+// rounds can block for minutes, and trace-span propagation so a round's
+// server-side lifecycle joins the run's trace. Platform itself predates
+// context plumbing and keeps its context-free Ask for simulated
+// platforms that never block.
+type ContextPlatform interface {
+	Platform
+	// AskCtx is Ask with a context carried to the marketplace.
+	AskCtx(ctx context.Context, reqs []Request) []Answer
+}
+
+// AskWithContext submits one round on pf, routing through AskCtx when pf
+// supports it. Decorators that wrap a Platform should implement
+// ContextPlatform and forward the context to their inner platform with
+// this helper, so context support survives arbitrary decorator stacks.
+func AskWithContext(ctx context.Context, pf Platform, reqs []Request) []Answer {
+	if cp, ok := pf.(ContextPlatform); ok {
+		return cp.AskCtx(ctx, reqs)
+	}
+	return pf.Ask(reqs)
 }
 
 // RoundStat records the accounting of a single round.

@@ -2,6 +2,7 @@ package crowd
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -192,7 +193,13 @@ type Recorder struct {
 
 // Ask implements Platform.
 func (r *Recorder) Ask(reqs []Request) []Answer {
-	answers := r.Inner.Ask(reqs)
+	return r.AskCtx(context.Background(), reqs)
+}
+
+// AskCtx implements ContextPlatform, forwarding the context to the inner
+// platform.
+func (r *Recorder) AskCtx(ctx context.Context, reqs []Request) []Answer {
+	answers := AskWithContext(ctx, r.Inner, reqs)
 	r.Log = append(r.Log, answers...)
 	return answers
 }

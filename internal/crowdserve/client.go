@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"crowdsky/internal/crowd"
+	"crowdsky/internal/telemetry"
 )
 
 // Client implements crowd.Platform against a crowdserve marketplace: each
@@ -25,9 +26,12 @@ type Client struct {
 	// Ctx, when non-nil, cancels waiting (a cancelled Ask panics with the
 	// context error, since crowd.Platform has no error channel; callers
 	// that need graceful cancellation should recover at the run boundary).
+	// AskCtx's context takes precedence when one is supplied per round.
 	Ctx context.Context
 
 	stats crowd.Stats
+	// retries counts round-status re-polls; set by InstrumentMetrics.
+	retries *telemetry.Counter
 }
 
 // NewClient returns a marketplace client for baseURL.
@@ -56,10 +60,30 @@ func (c *Client) pollInterval() time.Duration {
 	return 250 * time.Millisecond
 }
 
+// InstrumentMetrics registers the client's metric families on reg:
+// crowdserve_client_retries_total counts round-status re-polls (each one
+// is a full poll interval the requester spent waiting on the crowd).
+func (c *Client) InstrumentMetrics(reg *telemetry.Registry) {
+	c.retries = reg.NewCounter("crowdserve_client_retries_total",
+		"Round-status re-polls while waiting for crowd judgments.")
+}
+
 // Ask implements crowd.Platform.
 func (c *Client) Ask(reqs []crowd.Request) []crowd.Answer {
+	return c.AskCtx(c.ctx(), reqs)
+}
+
+// AskCtx implements crowd.ContextPlatform: ctx cancels the round (both
+// in-flight HTTP requests and the poll-interval sleep — a cancelled wait
+// panics, since crowd.Platform has no error channel), and the active
+// trace span in ctx is propagated to the server as a traceparent header
+// so the marketplace's lease/judgment spans join the run's trace.
+func (c *Client) AskCtx(ctx context.Context, reqs []crowd.Request) []crowd.Answer {
 	if len(reqs) == 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = c.ctx()
 	}
 	c.stats.Record(reqs)
 
@@ -67,17 +91,24 @@ func (c *Client) Ask(reqs []crowd.Request) []crowd.Answer {
 	for i, r := range reqs {
 		qs[i] = QuestionJSON{A: r.Q.A, B: r.Q.B, Attr: r.Q.Attr, Workers: r.Workers}
 	}
-	roundID, err := c.postRound(qs)
+	sctx, submit := telemetry.StartSpan(ctx, nil, "round_submit")
+	roundID, err := c.postRound(sctx, qs)
+	submit.End()
 	if err != nil {
 		panic(fmt.Sprintf("crowdserve: posting round: %v", err))
 	}
 
+	wctx, wait := telemetry.StartSpan(ctx, nil, "round_wait")
+	wait.SetAttr("round_id", fmt.Sprintf("%d", roundID))
+	polls := 0
+	defer wait.End()
 	for {
-		done, answers, err := c.getRound(roundID)
+		done, answers, err := c.getRound(wctx, roundID)
 		if err != nil {
 			panic(fmt.Sprintf("crowdserve: polling round %d: %v", roundID, err))
 		}
 		if done {
+			wait.SetAttr("polls", fmt.Sprintf("%d", polls))
 			// The server answers in question order; map back onto the
 			// request order (identical by construction).
 			out := make([]crowd.Answer, len(reqs))
@@ -93,10 +124,18 @@ func (c *Client) Ask(reqs []crowd.Request) []crowd.Answer {
 			}
 			return out
 		}
+		// Sleep one poll interval, but wake immediately on cancellation:
+		// a cancelled run must not outlive its context by a poll cycle.
+		timer := time.NewTimer(c.pollInterval())
 		select {
-		case <-c.ctx().Done():
-			panic(fmt.Sprintf("crowdserve: cancelled while waiting for round %d: %v", roundID, c.ctx().Err()))
-		case <-time.After(c.pollInterval()):
+		case <-ctx.Done():
+			timer.Stop()
+			panic(fmt.Sprintf("crowdserve: cancelled while waiting for round %d: %v", roundID, ctx.Err()))
+		case <-timer.C:
+		}
+		polls++
+		if c.retries != nil {
+			c.retries.Inc()
 		}
 	}
 }
@@ -104,16 +143,17 @@ func (c *Client) Ask(reqs []crowd.Request) []crowd.Answer {
 // Stats implements crowd.Platform.
 func (c *Client) Stats() *crowd.Stats { return &c.stats }
 
-func (c *Client) postRound(qs []QuestionJSON) (int64, error) {
+func (c *Client) postRound(ctx context.Context, qs []QuestionJSON) (int64, error) {
 	body, err := json.Marshal(map[string]any{"questions": qs})
 	if err != nil {
 		return 0, err
 	}
-	req, err := http.NewRequestWithContext(c.ctx(), http.MethodPost, c.BaseURL+"/api/rounds", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/api/rounds", bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	injectTraceParent(ctx, req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return 0, err
@@ -131,12 +171,13 @@ func (c *Client) postRound(qs []QuestionJSON) (int64, error) {
 	return out.RoundID, nil
 }
 
-func (c *Client) getRound(id int64) (bool, []AnswerJSON, error) {
-	req, err := http.NewRequestWithContext(c.ctx(), http.MethodGet,
+func (c *Client) getRound(ctx context.Context, id int64) (bool, []AnswerJSON, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		fmt.Sprintf("%s/api/rounds/%d", c.BaseURL, id), nil)
 	if err != nil {
 		return false, nil, err
 	}
+	injectTraceParent(ctx, req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return false, nil, err
@@ -153,6 +194,14 @@ func (c *Client) getRound(id int64) (bool, []AnswerJSON, error) {
 		return false, nil, err
 	}
 	return out.Done, out.Answers, nil
+}
+
+// injectTraceParent stamps the active span context from ctx onto req as a
+// W3C traceparent header, so the server's spans join the caller's trace.
+func injectTraceParent(ctx context.Context, req *http.Request) {
+	if sc := telemetry.ActiveSpanContext(ctx); sc.Valid() {
+		req.Header.Set(telemetry.TraceParentHeader, sc.TraceParent())
+	}
 }
 
 // drainClose consumes the rest of a response body so the HTTP transport

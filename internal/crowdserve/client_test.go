@@ -1,0 +1,67 @@
+package crowdserve
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"crowdsky/internal/crowd"
+	"crowdsky/internal/telemetry"
+)
+
+// TestClientCancellationDuringPoll posts a round that no worker will ever
+// answer and cancels the context mid-poll: AskCtx must abandon the wait
+// promptly (panicking with the context error) instead of sleeping out
+// its poll interval, and the retry metric must count the re-polls.
+func TestClientCancellationDuringPoll(t *testing.T) {
+	_, ts := newTestServer(t)
+	c := NewClient(ts.URL)
+	c.PollInterval = 20 * time.Millisecond
+	reg := telemetry.NewRegistry()
+	c.InstrumentMetrics(reg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(70 * time.Millisecond)
+		cancel()
+	}()
+
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		c.AskCtx(ctx, []crowd.Request{{Q: crowd.Question{A: 0, B: 1}, Workers: 1}})
+		done <- nil
+	}()
+
+	start := time.Now()
+	select {
+	case v := <-done:
+		if v == nil {
+			t.Fatal("AskCtx returned without answers on a cancelled context")
+		}
+		msg, ok := v.(string)
+		if !ok || !strings.Contains(msg, "cancelled") {
+			t.Fatalf("panic = %v, want cancellation message", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("AskCtx did not notice the cancellation")
+	}
+	// The cancel fires ~70ms in; a client honouring cancellation returns
+	// well before a full extra poll cycle on top of that.
+	if waited := time.Since(start); waited > time.Second {
+		t.Errorf("cancellation took %v; the poll sleep outlived the context", waited)
+	}
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "crowdserve_client_retries_total") {
+		t.Errorf("retry metric not registered:\n%s", sb.String())
+	}
+	exposition := sb.String()
+	if strings.Contains(exposition, "crowdserve_client_retries_total 0\n") {
+		t.Errorf("no re-polls counted despite several poll cycles:\n%s", exposition)
+	}
+}

@@ -159,16 +159,23 @@ func (s *Server) Restore(r io.Reader) error {
 		}
 		s.rounds[rs.ID] = rd
 	}
+	// Restored rounds have no live span context or trace ID (the
+	// requester's trace did not survive the restart); spans and exemplars
+	// simply resume absent. The queue-wait clock restarts at the restore,
+	// which undercounts waits spanning the downtime but never fabricates
+	// them.
+	now := s.now()
 	for _, a := range snap.Open {
 		rd, ok := s.rounds[a.RoundID]
 		if !ok || a.QIndex < 0 || a.QIndex >= len(rd.questions) {
 			return fmt.Errorf("crowdserve: snapshot assignment %d references missing round/question", a.ID)
 		}
 		s.queue = append(s.queue, &assignment{
-			id:       a.ID,
-			roundID:  a.RoundID,
-			qIndex:   a.QIndex,
-			question: rd.questions[a.QIndex],
+			id:         a.ID,
+			roundID:    a.RoundID,
+			qIndex:     a.QIndex,
+			question:   rd.questions[a.QIndex],
+			enqueuedAt: now,
 		})
 	}
 	return nil

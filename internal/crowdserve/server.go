@@ -26,6 +26,7 @@
 package crowdserve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -84,6 +85,15 @@ type assignment struct {
 	leasedTo    string
 	leaseExpiry time.Time
 	done        bool
+
+	// Lifecycle instrumentation: enqueuedAt feeds the lease-wait
+	// histogram (enqueue→lease), leasedAt the judgment-latency histogram
+	// (lease→answer); the spans mirror the same intervals in the round's
+	// trace. Both times reset when a lapsed lease requeues the slot.
+	enqueuedAt time.Time
+	leasedAt   time.Time
+	waitSpan   *telemetry.Span
+	judgeSpan  *telemetry.Span
 }
 
 // round is one batch of questions posted by the requester.
@@ -94,6 +104,16 @@ type round struct {
 	voters    []map[string]bool    // per question: workers who already voted
 	needed    []int                // workers per question
 	remaining int                  // unanswered assignments
+
+	// traceID is the requester's trace (from the POST's traceparent or
+	// the server's own span); it keys histogram exemplars even when
+	// server-side tracing is off. span/spanCtx carry the server_round
+	// span that the lease/judgment/vote spans parent under; resolved
+	// latches the one-time vote_resolve span.
+	traceID  string
+	span     *telemetry.Span
+	spanCtx  context.Context
+	resolved bool
 }
 
 // Server is the marketplace state plus its HTTP handler.
@@ -114,14 +134,25 @@ type Server struct {
 	// Telemetry: the registry backs GET /metrics; the counters mirror the
 	// mutex-guarded accounting above so dashboards can scrape without
 	// hitting the stats endpoint.
-	reg        *telemetry.Registry
-	httpm      *telemetry.HTTPMetrics
-	mRounds    *telemetry.Counter
-	mQuestions *telemetry.Counter
-	mJudgments *telemetry.Counter
-	mRequeues  *telemetry.Counter
-	mWriteErrs *telemetry.Counter
+	reg           *telemetry.Registry
+	httpm         *telemetry.HTTPMetrics
+	mRounds       *telemetry.Counter
+	mQuestions    *telemetry.Counter
+	mJudgments    *telemetry.Counter
+	mRequeues     *telemetry.Counter
+	mWriteErrs    *telemetry.Counter
+	mLeaseWait    *telemetry.Histogram
+	mJudgeLatency *telemetry.Histogram
+	// trace receives the marketplace's spans (server rounds, lease waits,
+	// judgments, vote resolution); nil disables them. Set via SetTracer
+	// before Handler.
+	trace telemetry.Tracer
 }
+
+// leaseBuckets extends the default buckets into the crowd-latency range:
+// human judgment and queue waits run to minutes (the paper's Q3 HITs
+// averaged 93 seconds), far beyond HTTP-scale defaults.
+var leaseBuckets = append(append([]float64(nil), telemetry.DefBuckets...), 30, 60, 120, 300)
 
 // NewServer creates an empty marketplace with the default lease.
 func NewServer() *Server {
@@ -139,6 +170,10 @@ func NewServer() *Server {
 	s.mJudgments = s.reg.NewCounter("crowdserve_judgments_total", "Worker judgments accepted.")
 	s.mRequeues = s.reg.NewCounter("crowdserve_lease_requeues_total", "Assignments requeued after a lapsed lease.")
 	s.mWriteErrs = s.reg.NewCounter("crowdserve_response_write_errors_total", "Responses that failed to encode or send (client gone, broken pipe).")
+	s.mLeaseWait = s.reg.NewHistogram("crowdserve_lease_wait_seconds",
+		"Queue wait from assignment enqueue to worker lease.", leaseBuckets...)
+	s.mJudgeLatency = s.reg.NewHistogram("crowdserve_judgment_latency_seconds",
+		"Worker think time from lease to accepted judgment.", leaseBuckets...)
 	s.reg.NewGaugeFunc("crowdserve_open_assignments", "Assignments currently queued or leased.", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -151,6 +186,16 @@ func NewServer() *Server {
 // marketplace metrics into a larger process-wide registry page or for
 // tests.
 func (s *Server) Metrics() *telemetry.Registry { return s.reg }
+
+// SetTracer enables span emission for the marketplace's round/lease/
+// judgment lifecycle and for per-request HTTP server spans. Call before
+// Handler and before serving traffic; typically wired to the same JSONL
+// stream as the requester's `-trace` via a separate file merged by
+// skytrace.
+func (s *Server) SetTracer(t telemetry.Tracer) {
+	s.trace = t
+	s.httpm.SetTracer(t)
+}
 
 // SetLease overrides the assignment lease duration (tests use short
 // leases).
@@ -214,9 +259,18 @@ func (s *Server) handlePostRound(w http.ResponseWriter, r *http.Request) {
 		voters:    make([]map[string]bool, len(body.Questions)),
 		needed:    make([]int, len(body.Questions)),
 	}
+	// The round joins the requester's trace: the middleware already
+	// extracted the traceparent header (and opened the http span) into
+	// the request context, so the server_round span — and through it
+	// every lease/judgment span — shares the caller's trace ID.
+	rd.spanCtx, rd.span = telemetry.StartSpan(r.Context(), s.trace, "server_round")
+	rd.traceID = telemetry.ActiveSpanContext(rd.spanCtx).TraceID
+	rd.span.SetAttr("round_id", strconv.FormatInt(rd.id, 10))
+	rd.span.SetAttr("questions", strconv.Itoa(len(body.Questions)))
 	for i := range rd.voters {
 		rd.voters[i] = make(map[string]bool)
 	}
+	now := s.now()
 	for i, q := range body.Questions {
 		workers := q.Workers
 		if workers < 1 {
@@ -226,18 +280,36 @@ func (s *Server) handlePostRound(w http.ResponseWriter, r *http.Request) {
 		rd.remaining += workers
 		for k := 0; k < workers; k++ {
 			s.nextAssign++
-			s.queue = append(s.queue, &assignment{
-				id:       s.nextAssign,
-				roundID:  rd.id,
-				qIndex:   i,
-				question: q,
-			})
+			a := &assignment{
+				id:         s.nextAssign,
+				roundID:    rd.id,
+				qIndex:     i,
+				question:   q,
+				enqueuedAt: now,
+			}
+			a.waitSpan = s.startAssignmentSpan(rd, a, "lease_wait")
+			s.queue = append(s.queue, a)
 		}
 	}
 	s.rounds[rd.id] = rd
 	s.mRounds.Inc()
 	s.mQuestions.Add(uint64(len(body.Questions)))
 	s.writeJSON(w, http.StatusCreated, map[string]int64{"round_id": rd.id})
+}
+
+// startAssignmentSpan opens a per-assignment span (lease_wait or
+// judgment) under the round's span, stamped with the pair so skytrace's
+// -top can rank slow questions.
+func (s *Server) startAssignmentSpan(rd *round, a *assignment, name string) *telemetry.Span {
+	if s.trace == nil {
+		return nil
+	}
+	_, span := telemetry.StartSpan(rd.spanCtx, s.trace, name)
+	span.SetAttr("assignment", strconv.FormatInt(a.id, 10))
+	span.SetAttr("a", strconv.Itoa(a.question.A))
+	span.SetAttr("b", strconv.Itoa(a.question.B))
+	span.SetAttr("attr", strconv.Itoa(a.question.Attr))
+	return span
 }
 
 func (s *Server) handleGetRound(w http.ResponseWriter, r *http.Request) {
@@ -262,6 +334,14 @@ func (s *Server) handleGetRound(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, resp{Done: false})
 		return
 	}
+	// The first completed read resolves the votes; span it once so the
+	// phase table can attribute voting time separately from crowd wait.
+	var vspan *telemetry.Span
+	if !rd.resolved {
+		rd.resolved = true
+		_, vspan = telemetry.StartSpan(rd.spanCtx, s.trace, "vote_resolve")
+		vspan.SetAttr("questions", strconv.Itoa(len(rd.questions)))
+	}
 	out := resp{Done: true}
 	for i, q := range rd.questions {
 		out.Answers = append(out.Answers, AnswerJSON{
@@ -269,6 +349,7 @@ func (s *Server) handleGetRound(w http.ResponseWriter, r *http.Request) {
 			Pref: prefString(crowd.MajorityVote(rd.votes[i])),
 		})
 	}
+	vspan.End()
 	s.writeJSON(w, http.StatusOK, out)
 }
 
@@ -287,10 +368,21 @@ func (s *Server) handleGetWork(w http.ResponseWriter, r *http.Request) {
 		if s.workerHasQuestionLocked(worker, a) {
 			continue
 		}
+		now := s.now()
 		a.leasedTo = worker
-		a.leaseExpiry = s.now().Add(s.lease)
+		a.leasedAt = now
+		a.leaseExpiry = now.Add(s.lease)
 		s.leased[a.id] = a
 		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		rd := s.rounds[a.roundID]
+		if !a.enqueuedAt.IsZero() {
+			s.mLeaseWait.ObserveExemplar(now.Sub(a.enqueuedAt).Seconds(), rd.traceID)
+		}
+		a.waitSpan.SetAttr("worker", worker)
+		a.waitSpan.End()
+		a.waitSpan = nil
+		a.judgeSpan = s.startAssignmentSpan(rd, a, "judgment")
+		a.judgeSpan.SetAttr("worker", worker)
 		s.writeJSON(w, http.StatusOK, map[string]any{
 			"assignment_id": a.id,
 			"a":             a.question.A,
@@ -332,6 +424,16 @@ func (s *Server) reapExpiredLocked() {
 	for _, a := range expired {
 		a.leasedTo = ""
 		delete(s.leased, a.id)
+		// Close the abandoned judgment span and restart the queue-wait
+		// clock: the slot is back in line for another worker.
+		a.judgeSpan.SetAttr("requeued", "true")
+		a.judgeSpan.End()
+		a.judgeSpan = nil
+		a.enqueuedAt = now
+		a.leasedAt = time.Time{}
+		if rd, ok := s.rounds[a.roundID]; ok {
+			a.waitSpan = s.startAssignmentSpan(rd, a, "lease_wait")
+		}
 		s.queue = append(s.queue, a)
 		s.requeues++
 		s.mRequeues.Inc()
@@ -367,9 +469,20 @@ func (s *Server) handlePostAnswer(w http.ResponseWriter, r *http.Request) {
 	a.done = true
 	delete(s.leased, body.AssignmentID)
 	rd := s.rounds[a.roundID]
+	if !a.leasedAt.IsZero() {
+		s.mJudgeLatency.ObserveExemplar(s.now().Sub(a.leasedAt).Seconds(), rd.traceID)
+	}
+	a.judgeSpan.SetAttr("pref", body.Pref)
+	a.judgeSpan.End()
+	a.judgeSpan = nil
 	rd.votes[a.qIndex] = append(rd.votes[a.qIndex], pref)
 	rd.voters[a.qIndex][body.Worker] = true
 	rd.remaining--
+	if rd.remaining == 0 {
+		// Every judgment is in; the round's crowd part is over (the
+		// requester's next poll resolves the votes).
+		rd.span.End()
+	}
 	s.judgments++
 	s.perWorker[body.Worker]++
 	s.mJudgments.Inc()

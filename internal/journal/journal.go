@@ -13,6 +13,7 @@ package journal
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -162,6 +163,12 @@ func NewPlatform(live crowd.Platform, entries []Entry, w *Writer) (*Platform, er
 // Ask implements crowd.Platform: replayed answers are free; unseen
 // questions form one live round and are journaled.
 func (p *Platform) Ask(reqs []crowd.Request) []crowd.Answer {
+	return p.AskCtx(context.Background(), reqs)
+}
+
+// AskCtx implements crowd.ContextPlatform, forwarding the context to the
+// live platform for cancellation and trace propagation.
+func (p *Platform) AskCtx(ctx context.Context, reqs []crowd.Request) []crowd.Answer {
 	if len(reqs) == 0 {
 		return nil
 	}
@@ -181,7 +188,7 @@ func (p *Platform) Ask(reqs []crowd.Request) []crowd.Answer {
 		liveIdx = append(liveIdx, i)
 	}
 	if len(liveReqs) > 0 {
-		answers := p.live.Ask(liveReqs)
+		answers := crowd.AskWithContext(ctx, p.live, liveReqs)
 		for k, a := range answers {
 			out[liveIdx[k]] = a
 			p.recorded[a.Q] = a.Pref

@@ -11,22 +11,33 @@ const (
 	EventBad  EventType = "bad"
 	// EventOrphan is emitted somewhere but was never registered.
 	EventOrphan EventType = "orphan" // want `has no skylint:eventschema entry`
+	// The span pair mirrors telemetry's span_start/span_end: string ID
+	// fields plus a map-typed attrs field, which must participate in the
+	// exactly-the-registered-fields check like any scalar.
+	EventSpanStart EventType = "span_start"
+	EventSpanEnd   EventType = "span_end"
 )
 
 // skylint:eventschema
 var eventSchemas = map[EventType][]string{
-	EventGood: {"round", "questions"},
-	EventBad:  {"round", "missing_field"}, // want `no field with that json tag`
+	EventGood:      {"round", "questions"},
+	EventBad:       {"round", "missing_field"}, // want `no field with that json tag`
+	EventSpanStart: {"trace_id", "span_id", "name"},
+	EventSpanEnd:   {"trace_id", "span_id", "name", "attrs"},
 }
 
 // Event is the fixture's wire format. The implicit fields (seq, time,
 // type, tuple, a, b) are allowed on every event type.
 type Event struct {
-	Seq       int       `json:"seq,omitempty"`
-	Type      EventType `json:"type"`
-	Round     int       `json:"round,omitempty"`
-	Questions int       `json:"questions,omitempty"`
-	Extra     int       `json:"extra,omitempty"`
+	Seq       int               `json:"seq,omitempty"`
+	Type      EventType         `json:"type"`
+	Round     int               `json:"round,omitempty"`
+	Questions int               `json:"questions,omitempty"`
+	Extra     int               `json:"extra,omitempty"`
+	TraceID   string            `json:"trace_id,omitempty"`
+	SpanID    string            `json:"span_id,omitempty"`
+	Name      string            `json:"name,omitempty"`
+	Attrs     map[string]string `json:"attrs,omitempty"`
 }
 
 func newEvent(t EventType) Event {
@@ -58,6 +69,31 @@ func StrayField(round, questions, extra int) Event { // want `assigns field "ext
 	return e
 }
 
+// SpanEndEvent assigns exactly the registered span_end fields; the map
+// assignment to Attrs counts like any scalar assignment.
+func SpanEndEvent(traceID, spanID, name string, attrs map[string]string) Event {
+	e := newEvent(EventSpanEnd)
+	e.TraceID, e.SpanID, e.Name, e.Attrs = traceID, spanID, name, attrs
+	return e
+}
+
+// SpanEndNoAttrs forgets the registered map field: consumers would read
+// nil attrs on every span.
+func SpanEndNoAttrs(traceID, spanID, name string) Event { // want `never assigns field "attrs"`
+	e := newEvent(EventSpanEnd)
+	e.TraceID, e.SpanID, e.Name = traceID, spanID, name
+	return e
+}
+
+// SpanStartWithAttrs populates the map field on the start event, whose
+// schema deliberately omits it (attrs are only final at span end).
+func SpanStartWithAttrs(traceID, spanID, name string) Event { // want `assigns field "attrs"`
+	e := newEvent(EventSpanStart)
+	e.TraceID, e.SpanID, e.Name = traceID, spanID, name
+	e.Attrs = map[string]string{"k": "v"}
+	return e
+}
+
 // emitLiterals exercises the Finish-phase literal check, which also
 // covers Event literals in other packages.
 func emitLiterals(round int) {
@@ -65,4 +101,6 @@ func emitLiterals(round int) {
 	sink(Event{Type: EventGood, Extra: 1}) // want `sets field "extra"`
 	sink(Event{Type: "mystery", Round: 1}) // want `no skylint:eventschema entry`
 	sink(Event{Type: EventGood, Seq: 1})   // implicit field: clean
+	sink(Event{Type: EventSpanStart, TraceID: "t", SpanID: "s", Name: "run"})
+	sink(Event{Type: EventSpanStart, Attrs: map[string]string{"k": "v"}}) // want `sets field "attrs"`
 }

@@ -8,10 +8,18 @@ import (
 
 // HTTPMetrics instruments HTTP handlers with per-route request counters
 // (labelled by route, method and status code) and per-route latency
-// histograms.
+// histograms. It also participates in distributed tracing: an incoming
+// traceparent header is parsed into the request context so handlers can
+// parent their spans under the caller's trace, the trace ID is attached
+// to the latency histogram as an exemplar, and — when a tracer is set —
+// requests that carry a traceparent get a server-side span joined to the
+// caller's trace. Requests without one (worker polls, metrics scrapes)
+// get no span: starting a fresh root trace per poll would bury the
+// requester's traces under noise.
 type HTTPMetrics struct {
 	requests *CounterVec
 	latency  *HistogramVec
+	tracer   Tracer
 }
 
 // NewHTTPMetrics registers the HTTP metric families on reg under
@@ -24,6 +32,11 @@ func NewHTTPMetrics(reg *Registry, prefix string) *HTTPMetrics {
 			"HTTP request latency.", DefBuckets, "route"),
 	}
 }
+
+// SetTracer enables server-side request spans on every route wrapped
+// after the call. Call it before mounting handlers; it is not safe to
+// race with in-flight requests.
+func (m *HTTPMetrics) SetTracer(t Tracer) { m.tracer = t }
 
 // statusWriter captures the response status code (200 when the handler
 // never calls WriteHeader explicitly).
@@ -43,9 +56,25 @@ func (w *statusWriter) WriteHeader(code int) {
 func (m *HTTPMetrics) Wrap(route string, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		ctx := r.Context()
+		var span *Span
+		if sc, ok := ParseTraceParent(r.Header.Get(TraceParentHeader)); ok {
+			ctx = ContextWithRemote(ctx, sc)
+			if m.tracer != nil {
+				ctx, span = StartSpan(ctx, m.tracer, "http "+route)
+				span.SetAttr("method", r.Method)
+			}
+		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h.ServeHTTP(sw, r)
-		m.latency.With(route).Observe(time.Since(start).Seconds())
+		h.ServeHTTP(sw, r.WithContext(ctx))
+		if span != nil {
+			span.SetAttr("code", strconv.Itoa(sw.code))
+			span.End()
+		}
+		// The exemplar carries whichever trace covers this request: the
+		// server span's when tracing is on, else the caller's propagated
+		// trace ID, else none.
+		m.latency.With(route).ObserveExemplar(time.Since(start).Seconds(), ActiveSpanContext(ctx).TraceID)
 		m.requests.With(route, r.Method, strconv.Itoa(sw.code)).Inc()
 	})
 }

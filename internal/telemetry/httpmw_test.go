@@ -45,3 +45,83 @@ func TestHTTPMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestHTTPTraceparentExtraction covers the tracing side of the
+// middleware: an incoming traceparent header must surface in the request
+// context, server spans (when a tracer is set) must join the caller's
+// trace, the route label must stay the static pattern, and the latency
+// histogram must carry the trace ID as an exemplar.
+func TestHTTPTraceparentExtraction(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "test")
+	var col Collector
+	m.SetTracer(&col)
+
+	caller := SpanContext{TraceID: "0af7651916cd43dd8448eb211c80319c", SpanID: "b7ad6b7169203331"}
+	var seen SpanContext
+	h := m.WrapFunc("/api/rounds/{id}", func(w http.ResponseWriter, r *http.Request) {
+		seen = ActiveSpanContext(r.Context())
+		w.WriteHeader(http.StatusCreated)
+	})
+
+	req := httptest.NewRequest("POST", "/api/rounds/7", nil)
+	req.Header.Set(TraceParentHeader, caller.TraceParent())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	if seen.TraceID != caller.TraceID {
+		t.Errorf("handler saw trace %q, want caller's %q", seen.TraceID, caller.TraceID)
+	}
+	starts := col.ByType(EventSpanStart)
+	if len(starts) != 1 {
+		t.Fatalf("got %d server spans, want 1", len(starts))
+	}
+	if starts[0].Name != "http /api/rounds/{id}" {
+		t.Errorf("server span name %q, want the route pattern", starts[0].Name)
+	}
+	if starts[0].TraceID != caller.TraceID || starts[0].ParentID != caller.SpanID {
+		t.Errorf("server span %+v not parented under caller %+v", starts[0], caller)
+	}
+	ends := col.ByType(EventSpanEnd)
+	if len(ends) != 1 || ends[0].Attrs["code"] != "201" || ends[0].Attrs["method"] != "POST" {
+		t.Errorf("server span end = %+v; want code=201 method=POST attrs", ends)
+	}
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `# {trace_id="`+caller.TraceID+`"}`) {
+		t.Errorf("exposition missing trace exemplar:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), `test_http_request_seconds_count{route="/api/rounds/{id}"} 1`) {
+		t.Errorf("route pattern label lost:\n%s", sb.String())
+	}
+}
+
+// TestHTTPTraceparentWithoutTracer: even with no server tracer, the
+// caller's trace ID still reaches the handler context and the exemplar.
+func TestHTTPTraceparentWithoutTracer(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "test")
+	caller := SpanContext{TraceID: strings.Repeat("12", 16), SpanID: strings.Repeat("34", 8)}
+
+	var seen SpanContext
+	h := m.WrapFunc("/api/work", func(w http.ResponseWriter, r *http.Request) {
+		seen = ActiveSpanContext(r.Context())
+	})
+	req := httptest.NewRequest("GET", "/api/work", nil)
+	req.Header.Set(TraceParentHeader, caller.TraceParent())
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	if seen != caller {
+		t.Errorf("handler saw %+v, want caller %+v", seen, caller)
+	}
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `# {trace_id="`+caller.TraceID+`"}`) {
+		t.Errorf("exemplar should use the propagated trace ID:\n%s", sb.String())
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"time"
 
 	"crowdsky/internal/crowd"
@@ -44,12 +45,19 @@ func InstrumentPlatform(inner crowd.Platform, reg *Registry) *InstrumentedPlatfo
 
 // Ask implements crowd.Platform.
 func (p *InstrumentedPlatform) Ask(reqs []crowd.Request) []crowd.Answer {
+	return p.AskCtx(context.Background(), reqs)
+}
+
+// AskCtx implements crowd.ContextPlatform, forwarding the context to the
+// inner platform and attaching the active trace as an exemplar on the
+// round-latency histogram.
+func (p *InstrumentedPlatform) AskCtx(ctx context.Context, reqs []crowd.Request) []crowd.Answer {
 	if len(reqs) == 0 {
 		return nil
 	}
 	start := time.Now()
-	out := p.inner.Ask(reqs)
-	p.roundLatency.Observe(time.Since(start).Seconds())
+	out := crowd.AskWithContext(ctx, p.inner, reqs)
+	p.roundLatency.ObserveExemplar(time.Since(start).Seconds(), ActiveSpanContext(ctx).TraceID)
 	p.rounds.Inc()
 	p.questions.Add(uint64(len(reqs)))
 	answers := 0

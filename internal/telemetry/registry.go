@@ -68,6 +68,17 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits
+
+	emu       sync.Mutex
+	exemplars []exemplar // skylint:guardedby emu — len(bounds)+1, last is +Inf
+}
+
+// exemplar is the most recent traced observation that landed in a bucket:
+// it links a latency outlier visible in /metrics to the trace that caused
+// it (OpenMetrics exemplar semantics, keeping only the latest per bucket).
+type exemplar struct {
+	value   float64
+	traceID string
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -93,6 +104,34 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// attaches it as the bucket's exemplar so the observation can be traced
+// back from the exposition output. With an empty traceID it is exactly
+// Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.emu.Lock()
+	if h.exemplars == nil {
+		h.exemplars = make([]exemplar, len(h.bounds)+1)
+	}
+	h.exemplars[i] = exemplar{value: v, traceID: traceID}
+	h.emu.Unlock()
+}
+
+// bucketExemplar returns the exemplar for bucket i, if one was recorded.
+func (h *Histogram) bucketExemplar(i int) (exemplar, bool) {
+	h.emu.Lock()
+	defer h.emu.Unlock()
+	if h.exemplars == nil || h.exemplars[i].traceID == "" {
+		return exemplar{}, false
+	}
+	return h.exemplars[i], true
 }
 
 // Count returns the number of observations.
@@ -321,13 +360,23 @@ func writeHistogram(buf *bytes.Buffer, name, labels string, h *Histogram) {
 		}
 		return labels[:len(labels)-1] + "," + extra + "}"
 	}
+	// Exemplars render OpenMetrics-style after the bucket value
+	// (`# {trace_id="..."} value`); Prometheus text-format parsers treat
+	// everything after # as a comment, so plain 0.0.4 scrapers stay happy.
+	writeBucket := func(i int, le string, cum uint64) {
+		fmt.Fprintf(buf, "%s_bucket%s %d", name, joint(`le="`+le+`"`), cum)
+		if ex, ok := h.bucketExemplar(i); ok {
+			fmt.Fprintf(buf, ` # {trace_id="%s"} %s`, escapeLabel(ex.traceID), formatFloat(ex.value))
+		}
+		buf.WriteByte('\n')
+	}
 	cum := uint64(0)
 	for i, bound := range h.bounds {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(buf, "%s_bucket%s %d\n", name, joint(`le="`+formatFloat(bound)+`"`), cum)
+		writeBucket(i, formatFloat(bound), cum)
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(buf, "%s_bucket%s %d\n", name, joint(`le="+Inf"`), cum)
+	writeBucket(len(h.bounds), "+Inf", cum)
 	fmt.Fprintf(buf, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum()))
 	fmt.Fprintf(buf, "%s_count%s %d\n", name, labels, h.Count())
 }

@@ -36,6 +36,8 @@ var eventSchemas = map[EventType][]string{
 	EventVoteEscalation:  {"a", "b", "workers", "base"},
 	EventBudgetTruncated: {"questions", "budget"},
 	EventIndexBuild:      {"n", "pairs", "bytes", "duration_ms"},
+	EventSpanStart:       {"trace_id", "span_id", "parent_id", "name"},
+	EventSpanEnd:         {"trace_id", "span_id", "name", "duration_ms", "attrs"},
 }
 
 // implicitFields are populated by the event plumbing (newEvent, tracers)

@@ -20,6 +20,11 @@ func TestConstructorsMatchSchema(t *testing.T) {
 		"VoteEscalation":  VoteEscalation(1, 2, 5, 3),
 		"BudgetTruncated": BudgetTruncated(100, 90),
 		"IndexBuild":      IndexBuild(10, 45, 1024, 2*time.Millisecond),
+		"SpanStart": SpanStart(SpanContext{TraceID: "0af7651916cd43dd8448eb211c80319c",
+			SpanID: "b7ad6b7169203331"}, "00f067aa0ba902b7", "round", time.Now()),
+		"SpanEnd": SpanEnd(SpanContext{TraceID: "0af7651916cd43dd8448eb211c80319c",
+			SpanID: "b7ad6b7169203331"}, "round", map[string]string{"round": "1"},
+			time.Now(), 5*time.Millisecond),
 	}
 	for name, e := range events {
 		if err := ValidateEvent(e); err != nil {
@@ -35,6 +40,7 @@ func TestEveryEventTypeHasSchema(t *testing.T) {
 		EventRunStart, EventRunEnd, EventRoundStart, EventRoundEnd,
 		EventP1Prune, EventP2Reduce, EventP3Resolve,
 		EventVoteEscalation, EventBudgetTruncated, EventIndexBuild,
+		EventSpanStart, EventSpanEnd,
 	}
 	if got := len(EventTypes()); got != len(all) {
 		t.Fatalf("registry has %d event types, want %d", got, len(all))

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: "0af7651916cd43dd8448eb211c80319c", SpanID: "b7ad6b7169203331"}
+	if !sc.Valid() {
+		t.Fatalf("context %+v should be valid", sc)
+	}
+	hdr := sc.TraceParent()
+	want := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	if hdr != want {
+		t.Fatalf("TraceParent() = %q, want %q", hdr, want)
+	}
+	got, ok := ParseTraceParent(hdr)
+	if !ok || got != sc {
+		t.Fatalf("ParseTraceParent(%q) = %+v, %v; want %+v, true", hdr, got, ok, sc)
+	}
+}
+
+func TestParseTraceParentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-short-b7ad6b7169203331-01",
+		"00-0af7651916cd43dd8448eb211c80319c-short-01",
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace ID
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero span ID
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // invalid version
+		"00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01", // uppercase
+		"not-a-traceparent",
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceParent(s); ok {
+			t.Errorf("ParseTraceParent(%q) accepted, want rejected", s)
+		}
+	}
+	// Unknown future version with well-formed IDs is accepted (forward
+	// compatibility), possibly with trailing extra fields.
+	ok1, ok := ParseTraceParent("01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra")
+	if !ok || ok1.TraceID != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("future version rejected: %+v %v", ok1, ok)
+	}
+}
+
+func TestStartSpanParenting(t *testing.T) {
+	var col Collector
+	ctx, root := StartSpan(context.Background(), &col, "run")
+	if root == nil {
+		t.Fatal("StartSpan with tracer returned nil span")
+	}
+	// Child inherits the tracer through the context: tracer arg nil.
+	ctx2, child := StartSpan(ctx, nil, "round")
+	if child == nil {
+		t.Fatal("child span did not inherit parent tracer")
+	}
+	if child.TraceID() != root.TraceID() {
+		t.Errorf("child trace ID %q != root %q", child.TraceID(), root.TraceID())
+	}
+	child.SetAttr("round", "1")
+	child.End()
+	child.End() // double End is a no-op
+	root.End()
+
+	starts := col.ByType(EventSpanStart)
+	ends := col.ByType(EventSpanEnd)
+	if len(starts) != 2 || len(ends) != 2 {
+		t.Fatalf("got %d span_start, %d span_end; want 2, 2", len(starts), len(ends))
+	}
+	if starts[0].Name != "run" || starts[0].ParentID != "" {
+		t.Errorf("root start = %+v; want name run, no parent", starts[0])
+	}
+	if starts[1].Name != "round" || starts[1].ParentID != starts[0].SpanID {
+		t.Errorf("child start = %+v; want parent %q", starts[1], starts[0].SpanID)
+	}
+	if ends[0].Name != "round" || ends[0].Attrs["round"] != "1" {
+		t.Errorf("child end = %+v; want attrs[round]=1", ends[0])
+	}
+	if ends[0].DurationMS < 0 {
+		t.Errorf("negative duration %v", ends[0].DurationMS)
+	}
+	for _, e := range append(starts, ends...) {
+		if err := ValidateEvent(e); err != nil {
+			t.Errorf("span event fails schema: %v", err)
+		}
+	}
+	_ = ctx2
+}
+
+func TestStartSpanRemoteParent(t *testing.T) {
+	remote := SpanContext{TraceID: strings.Repeat("ab", 16), SpanID: strings.Repeat("cd", 8)}
+	ctx := ContextWithRemote(context.Background(), remote)
+	if got := ActiveSpanContext(ctx); got != remote {
+		t.Fatalf("ActiveSpanContext = %+v, want remote %+v", got, remote)
+	}
+	var col Collector
+	_, span := StartSpan(ctx, &col, "server_round")
+	if span.TraceID() != remote.TraceID {
+		t.Errorf("span joined trace %q, want remote trace %q", span.TraceID(), remote.TraceID)
+	}
+	starts := col.ByType(EventSpanStart)
+	if len(starts) != 1 || starts[0].ParentID != remote.SpanID {
+		t.Errorf("span_start = %+v; want parent %q", starts, remote.SpanID)
+	}
+}
+
+func TestStartSpanNilTracerNoop(t *testing.T) {
+	ctx, span := StartSpan(context.Background(), nil, "run")
+	if span != nil {
+		t.Fatalf("StartSpan without tracer returned %+v, want nil", span)
+	}
+	// The nil span accepts every method.
+	span.SetAttr("k", "v")
+	span.End()
+	if span.TraceID() != "" || span.Name() != "" || span.Context().Valid() {
+		t.Error("nil span must report zero values")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Error("no span should be in the context")
+	}
+	if ActiveSpanContext(context.Background()).Valid() {
+		t.Error("empty context must have no active span context")
+	}
+}
+
+func TestStartSpanFreshIDs(t *testing.T) {
+	var col Collector
+	_, a := StartSpan(context.Background(), &col, "a")
+	_, b := StartSpan(context.Background(), &col, "b")
+	if a.TraceID() == b.TraceID() {
+		t.Error("independent roots share a trace ID")
+	}
+	if !a.Context().Valid() || !b.Context().Valid() {
+		t.Errorf("generated contexts invalid: %+v %+v", a.Context(), b.Context())
+	}
+}

@@ -43,6 +43,12 @@ const (
 	// DurationMS): the one-time machine-part cost a run pays before any
 	// crowd question is issued.
 	EventIndexBuild EventType = "index_build"
+	// EventSpanStart opens a hierarchical span (TraceID, SpanID, ParentID,
+	// Name); see span.go.
+	EventSpanStart EventType = "span_start"
+	// EventSpanEnd closes a span (TraceID, SpanID, Name, DurationMS,
+	// Attrs); paired with span_start by SpanID.
+	EventSpanEnd EventType = "span_end"
 )
 
 // Event is one structured trace event. It is a flat union of the fields
@@ -78,6 +84,12 @@ type Event struct {
 
 	Pairs int   `json:"pairs,omitempty"` // index_build: dominance pairs
 	Bytes int64 `json:"bytes,omitempty"` // index_build: bitmap memory
+
+	TraceID  string            `json:"trace_id,omitempty"`  // span_*: 32-hex trace ID
+	SpanID   string            `json:"span_id,omitempty"`   // span_*: 16-hex span ID
+	ParentID string            `json:"parent_id,omitempty"` // span_start: parent span ID
+	Name     string            `json:"name,omitempty"`      // span_*: operation name
+	Attrs    map[string]string `json:"attrs,omitempty"`     // span_end: attributes
 }
 
 func newEvent(t EventType) Event {
