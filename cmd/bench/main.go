@@ -244,8 +244,8 @@ func compareReports(w io.Writer, baseName string, base, cur report, threshold fl
 		fmt.Fprintf(w, "> environment differs from baseline (%s/%s/%d CPUs vs %s/%s/%d CPUs) — deltas are indicative only\n\n",
 			cur.Go, cur.GOARCH, cur.CPUs, base.Go, base.GOARCH, base.CPUs)
 	}
-	fmt.Fprintln(w, "| op | n | baseline ns/op | current ns/op | delta |")
-	fmt.Fprintln(w, "|---|---:|---:|---:|---:|")
+	fmt.Fprintln(w, "| op | n | baseline ns/op | current ns/op | delta | B/op | allocs/op |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|")
 	regressions, compared := 0, 0
 	for _, r := range cur.Results {
 		b, ok := baseline[key{r.Op, r.N}]
@@ -259,14 +259,35 @@ func compareReports(w io.Writer, baseName string, base, cur report, threshold fl
 			mark = " ⚠️"
 			regressions++
 		}
-		fmt.Fprintf(w, "| %s | %d | %.0f | %.0f | %+.1f%%%s |\n", r.Op, r.N, b.NsPerOp, r.NsPerOp, 100*delta, mark)
+		// Memory columns show baseline→current so an allocation creeping
+		// onto a zero-alloc op is visible at a glance; a regression from
+		// 0 allocs/op is flagged like a time regression (machine-stable,
+		// unlike ns/op, so the mark is trustworthy cross-machine).
+		allocMark := ""
+		if b.AllocsPerOp == 0 && r.AllocsPerOp > 0 {
+			allocMark = " ⚠️"
+			regressions++
+		}
+		fmt.Fprintf(w, "| %s | %d | %.0f | %.0f | %+.1f%%%s | %s | %s%s |\n",
+			r.Op, r.N, b.NsPerOp, r.NsPerOp, 100*delta, mark,
+			deltaCount(b.BytesPerOp, r.BytesPerOp), deltaCount(b.AllocsPerOp, r.AllocsPerOp), allocMark)
 	}
-	if compared == 0 {
+	switch {
+	case compared == 0:
 		fmt.Fprintln(w, "\nno overlapping (op, n) measurements — nothing compared")
-	} else if regressions > 0 {
-		fmt.Fprintf(w, "\n**%d of %d ops regressed more than %.0f%% ns/op** (soft gate — not failing the job)\n", regressions, compared, 100*threshold)
-	} else {
+	case regressions > 0:
+		fmt.Fprintf(w, "\n**%d of %d ops regressed more than %.0f%% ns/op or started allocating** (soft gate — not failing the job)\n", regressions, compared, 100*threshold)
+	default:
 		fmt.Fprintf(w, "\nno ns/op regressions above %.0f%% across %d compared ops\n", 100*threshold, compared)
 	}
 	return regressions
+}
+
+// deltaCount renders a memory column: the current value alone when
+// unchanged, "base→cur" when it moved.
+func deltaCount(base, cur int64) string {
+	if base == cur {
+		return fmt.Sprintf("%d", cur)
+	}
+	return fmt.Sprintf("%d→%d", base, cur)
 }

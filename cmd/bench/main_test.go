@@ -28,7 +28,7 @@ func TestCompareReportsFlagsRegressions(t *testing.T) {
 		t.Errorf("regressions = %d, want 1\n%s", got, sb.String())
 	}
 	out := sb.String()
-	if !strings.Contains(out, "index_build | 1000 | 1000 | 1200 | +20.0% ⚠️") {
+	if !strings.Contains(out, "index_build | 1000 | 1000 | 1200 | +20.0% ⚠️ | 0 | 0 |") {
 		t.Errorf("regression row missing or mis-rendered:\n%s", out)
 	}
 	if !strings.Contains(out, "1 of 2 ops regressed") {
@@ -57,6 +57,36 @@ func TestCompareReportsEnvMismatchAndClean(t *testing.T) {
 	}
 	if !strings.Contains(out, "no ns/op regressions above 10%") {
 		t.Errorf("clean summary missing:\n%s", out)
+	}
+}
+
+// TestCompareReportsMemoryColumns pins the B/op and allocs/op rendering:
+// unchanged values print bare, changed values print base→cur, and an op
+// that was allocation-free in the baseline but allocates now counts as a
+// regression even with ns/op flat (allocation counts are machine-stable,
+// so this flag is reliable where the timing gate is soft).
+func TestCompareReportsMemoryColumns(t *testing.T) {
+	base := report{Go: "go1.22", GOARCH: "amd64", CPUs: 8,
+		Results: []result{
+			{Op: "index_dominates", N: 1000, NsPerOp: 100, BytesPerOp: 0, AllocsPerOp: 0},
+			{Op: "index_build", N: 1000, NsPerOp: 1000, BytesPerOp: 4096, AllocsPerOp: 12},
+		}}
+	cur := report{Go: "go1.22", GOARCH: "amd64", CPUs: 8,
+		Results: []result{
+			{Op: "index_dominates", N: 1000, NsPerOp: 101, BytesPerOp: 16, AllocsPerOp: 1},
+			{Op: "index_build", N: 1000, NsPerOp: 1010, BytesPerOp: 4096, AllocsPerOp: 12},
+		}}
+	var sb strings.Builder
+	got := compareReports(&sb, "b.json", base, cur, 0.10)
+	if got != 1 {
+		t.Errorf("regressions = %d, want 1 (new allocation on a zero-alloc op)\n%s", got, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "| 0→16 | 0→1 ⚠️ |") {
+		t.Errorf("changed memory columns mis-rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "| 4096 | 12 |") {
+		t.Errorf("unchanged memory columns mis-rendered:\n%s", out)
 	}
 }
 

@@ -1,9 +1,11 @@
 // Command skylint is the repository's static-analysis gate: it runs the
-// ten CrowdSky-specific analyzers of internal/lint — the AST contract
-// checks (guardedby, detrange, niltrace, floateq, errdrop) and the
+// thirteen CrowdSky-specific analyzers of internal/lint — the AST
+// contract checks (guardedby, detrange, niltrace, floateq, errdrop), the
 // flow-sensitive concurrency/trace checks (lockorder, ctxleak, wgbalance,
-// goroleak, traceschema) — and, by default, `go vet`, over the given
-// package patterns. A non-empty finding set exits 1, so CI can require it:
+// goroleak, traceschema) and the interprocedural hot-path checks
+// (hotalloc, recvcopy, purity) — and, by default, `go vet`, over the
+// given package patterns. A non-empty finding set exits 1, so CI can
+// require it:
 //
 //	go run ./cmd/skylint ./...
 //
@@ -17,6 +19,9 @@
 //	-baseline FILE   suppress findings matched by the baseline file; stale
 //	                 entries fail the run (defaults to .skylint-baseline.json
 //	                 when that file exists)
+//	-callgraph       dump the interprocedural call graph (one line per
+//	                 function, "[hot:scope]"-tagged, edges indented) and
+//	                 exit without running analyzers
 //
 // Text findings are file:line:col-prefixed, one per line, sorted by
 // (file, line, col, analyzer) so CI output is stable and diffable. See
@@ -43,6 +48,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print findings as JSON")
 	sarifPath := flag.String("sarif", "", "write a SARIF 2.1.0 report to this file (\"-\" for stdout)")
 	baselinePath := flag.String("baseline", "", "baseline file of grandfathered findings (default "+defaultBaseline+" if present)")
+	dumpGraph := flag.Bool("callgraph", false, "dump the interprocedural call graph and exit")
 	flag.Parse()
 
 	if *list {
@@ -55,6 +61,16 @@ func main() {
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+
+	if *dumpGraph {
+		dump, err := lint.DumpCallGraph(".", patterns, loader.Options{Tests: *tests})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skylint: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(dump)
+		return
 	}
 
 	failed := false

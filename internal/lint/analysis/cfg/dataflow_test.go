@@ -1,0 +1,169 @@
+package cfg
+
+import (
+	"go/ast"
+	"testing"
+
+	"crowdsky/internal/bitset"
+)
+
+// callGen maps call names to fact bits: a block generates bit i when it
+// contains a call to the ident named by bits' key i.
+func callGen(bits map[string]int) func(b *Block) bitset.Set {
+	n := len(bits)
+	return func(b *Block) bitset.Set {
+		var set bitset.Set
+		for _, node := range b.Nodes {
+			ast.Inspect(node, func(nd ast.Node) bool {
+				call, ok := nd.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					if bit, ok := bits[id.Name]; ok {
+						if set == nil {
+							set = bitset.New(n)
+						}
+						set.Add(bit)
+					}
+				}
+				return true
+			})
+		}
+		return set
+	}
+}
+
+// blockCalling returns the block containing a call to name.
+func blockCalling(t *testing.T, g *Graph, name string) *Block {
+	t.Helper()
+	gen := callGen(map[string]int{name: 0})
+	for _, b := range g.Blocks {
+		if s := gen(b); s != nil && s.Has(0) {
+			return b
+		}
+	}
+	t.Fatalf("no block calls %s", name)
+	return nil
+}
+
+// TestDataflowIrreducibleLoop solves both confluence modes over a loop
+// with two entry points (goto into the middle of a cycle) — the shape
+// structured-loop-only solvers get wrong. pre dominates everything; onA
+// is on only one of the two paths into B; the back edge B->A must carry
+// onB around the cycle for May.
+func TestDataflowIrreducibleLoop(t *testing.T) {
+	g, _ := parse(t, `func f(c bool) {
+	pre()
+	if c {
+		goto B
+	}
+A:
+	onA()
+	goto B
+B:
+	onB()
+	if c {
+		goto A
+	}
+}`)
+	bits := map[string]int{"pre": 0, "onA": 1, "onB": 2}
+	blkA := blockCalling(t, g, "onA")
+	blkB := blockCalling(t, g, "onB")
+
+	must := Flow{NFacts: 3, Meet: Must, Gen: callGen(bits)}.Solve(g)
+	if !must.In[blkB.Index].Has(0) {
+		t.Error("Must: pre not guaranteed at B despite dominating the function")
+	}
+	if must.In[blkB.Index].Has(1) {
+		t.Error("Must: onA claimed guaranteed at B, but the direct goto skips A")
+	}
+	if must.In[blkA.Index].Has(2) {
+		t.Error("Must: onB claimed guaranteed at A, but entry falls into A first")
+	}
+	if !must.In[g.Exit.Index].Has(0) {
+		t.Error("Must: pre not guaranteed at exit")
+	}
+
+	may := Flow{NFacts: 3, Meet: May, Gen: callGen(bits)}.Solve(g)
+	if !may.In[blkB.Index].Has(1) {
+		t.Error("May: onA unseen at B despite the fall-through path")
+	}
+	if !may.In[blkA.Index].Has(2) {
+		t.Error("May: onB unseen at A — the irreducible back edge was not iterated")
+	}
+}
+
+// TestDataflowLabelledLoops checks fact propagation through labelled
+// continue and break: continue outer must route through the range head
+// (not the inner loop), and break outer must reach the block after the
+// outer loop directly.
+func TestDataflowLabelledLoops(t *testing.T) {
+	g, _ := parse(t, `func g(xs []int) {
+	acquire()
+outer:
+	for _, x := range xs {
+		inner()
+		for {
+			if x == 0 {
+				continue outer
+			}
+			if x == 1 {
+				break outer
+			}
+			step()
+		}
+	}
+	release()
+}`)
+	bits := map[string]int{"acquire": 0, "inner": 1, "step": 2}
+	blkStep := blockCalling(t, g, "step")
+	blkRelease := blockCalling(t, g, "release")
+
+	must := Flow{NFacts: 3, Meet: Must, Gen: callGen(bits)}.Solve(g)
+	if !must.In[blkRelease.Index].Has(0) {
+		t.Error("Must: acquire not guaranteed at release")
+	}
+	if must.In[blkRelease.Index].Has(1) {
+		t.Error("Must: inner claimed guaranteed at release, but the range may run zero iterations")
+	}
+	if must.In[blkRelease.Index].Has(2) {
+		t.Error("Must: step claimed guaranteed at release, but break outer precedes it")
+	}
+	if !must.In[blkStep.Index].Has(1) {
+		t.Error("Must: inner not guaranteed at step, but every path into the inner loop runs it")
+	}
+
+	may := Flow{NFacts: 3, Meet: May, Gen: callGen(bits)}.Solve(g)
+	if !may.In[blkRelease.Index].Has(1) || !may.In[blkRelease.Index].Has(2) {
+		t.Error("May: inner/step never observed at release")
+	}
+}
+
+// TestDataflowKill checks the kill side of the transfer function across a
+// loop: a fact generated before the loop and killed inside it must not
+// survive a May join at the loop exit on the killing path, and must
+// survive when the loop body may be skipped.
+func TestDataflowKill(t *testing.T) {
+	g, _ := parse(t, `func h(xs []int) {
+	hold()
+	for _, x := range xs {
+		_ = x
+		drop()
+	}
+	after()
+}`)
+	bits := map[string]int{"hold": 0}
+	kills := map[string]int{"drop": 0}
+	blkAfter := blockCalling(t, g, "after")
+
+	must := Flow{NFacts: 1, Meet: Must, Gen: callGen(bits), Kill: callGen(kills)}.Solve(g)
+	if must.In[blkAfter.Index].Has(0) {
+		t.Error("Must: hold claimed to survive the loop, but an iteration drops it")
+	}
+
+	may := Flow{NFacts: 1, Meet: May, Gen: callGen(bits), Kill: callGen(kills)}.Solve(g)
+	if !may.In[blkAfter.Index].Has(0) {
+		t.Error("May: hold lost entirely, but the zero-iteration path keeps it")
+	}
+}

@@ -81,6 +81,64 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	}
 }
 
+// RunMulti loads the named subdirectories of root as a multi-package
+// fixture (see loader.LoadDirs: the packages may import each other by
+// directory name) and applies the analyzer across all of them under one
+// shared Program — Run per package, then a single Finish — so
+// cross-package facts like call-graph summaries propagate exactly as in
+// a real skylint invocation. Want comments are collected from every
+// package.
+func RunMulti(t *testing.T, root string, dirs []string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := loader.LoadDirs(root, dirs)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", root, err)
+	}
+	prog := analysis.NewProgram()
+	var diags []analysis.Diagnostic
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		w, err := collectWants(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, w...)
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			PkgPath:  pkg.PkgPath,
+			Info:     pkg.Info,
+		}
+		pass.BuildIgnores()
+		pass.SetProgram(prog)
+		pass.SetReporter(func(d analysis.Diagnostic) { diags = append(diags, d) })
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+	}
+	if a.Finish != nil {
+		if err := a.Finish(prog); err != nil {
+			t.Fatalf("finishing %s on %s: %v", a.Name, root, err)
+		}
+	}
+	fset := pkgs[0].Fset
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if w := findWant(wants, filepath.Base(pos.Filename), pos.Line, d.Message); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
 // findWant returns the first unmatched expectation on (file, line) whose
 // regexp matches msg, or nil.
 func findWant(wants []*expectation, file string, line int, msg string) *expectation {

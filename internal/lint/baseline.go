@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // A baseline file grandfathers specific findings: each entry names one
@@ -58,12 +59,16 @@ func LoadBaseline(path string) ([]BaselineEntry, error) {
 // the survivors plus any stale entries (entries that matched nothing).
 // One entry suppresses every finding with the same file, analyzer and
 // message — a multi-site diagnostic needs one entry, not one per line.
+// File paths on both sides are slash-normalized before comparison, so a
+// baseline recorded under a Windows checkout matches findings produced
+// anywhere (Run already reports repo-relative forward-slash paths).
 func ApplyBaseline(findings []Finding, entries []BaselineEntry) (kept []Finding, stale []BaselineEntry) {
 	used := make([]bool, len(entries))
 	for _, f := range findings {
 		matched := false
+		ff := filepath.ToSlash(f.File)
 		for i, e := range entries {
-			if f.File == e.File && f.Analyzer == e.Analyzer && f.Message == e.Message {
+			if ff == filepath.ToSlash(e.File) && f.Analyzer == e.Analyzer && f.Message == e.Message {
 				used[i] = true
 				matched = true
 			}

@@ -1,0 +1,77 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"crowdsky/internal/lint"
+	"crowdsky/internal/lint/analysis"
+	"crowdsky/internal/lint/loader"
+)
+
+// TestBaselineAcrossRoots pins the path contract of lint.Run: findings are
+// reported repo-relative with forward slashes, so two checkouts of the
+// same tree under different absolute roots produce byte-identical findings
+// — and a baseline recorded under one suppresses the same finding under
+// the other.
+func TestBaselineAcrossRoots(t *testing.T) {
+	const src = `package p
+
+//skylint:hotpath
+func Hot() map[int]int {
+	return make(map[int]int)
+}
+`
+	writeFixture := func(t *testing.T) string {
+		t.Helper()
+		root := t.TempDir()
+		if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Mkdir(filepath.Join(root, "p"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(root, "p", "p.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return root
+	}
+	run := func(t *testing.T, root string) []lint.Finding {
+		t.Helper()
+		findings, err := lint.Run(root, []string{"./..."}, []*analysis.Analyzer{lint.HotAlloc}, loader.Options{})
+		if err != nil {
+			t.Fatalf("lint.Run under %s: %v", root, err)
+		}
+		if len(findings) == 0 {
+			t.Fatalf("fixture under %s produced no findings", root)
+		}
+		return findings
+	}
+
+	f1 := run(t, writeFixture(t))
+	f2 := run(t, writeFixture(t))
+	if !reflect.DeepEqual(f1, f2) {
+		t.Fatalf("findings differ across roots:\n%v\nvs\n%v", f1, f2)
+	}
+	if want := "p/p.go"; f1[0].File != want {
+		t.Fatalf("finding path = %q, want repo-relative slash path %q", f1[0].File, want)
+	}
+
+	// Record the baseline against the first checkout's findings and apply
+	// it to the second's: everything is suppressed, nothing is stale.
+	entries := make([]lint.BaselineEntry, len(f1))
+	for i, f := range f1 {
+		entries[i] = lint.BaselineEntry{
+			File:     f.File,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+			Reason:   "recorded under another checkout for the cross-root test",
+		}
+	}
+	kept, stale := lint.ApplyBaseline(f2, entries)
+	if len(kept) != 0 || len(stale) != 0 {
+		t.Fatalf("baseline did not transfer across roots: kept=%v stale=%v", kept, stale)
+	}
+}

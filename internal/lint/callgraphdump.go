@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"crowdsky/internal/lint/analysis"
+	"crowdsky/internal/lint/analysis/callgraph"
+	"crowdsky/internal/lint/loader"
+)
+
+// DumpCallGraph loads the packages matching patterns under dir and
+// renders the CHA call graph the interprocedural analyzers (hotalloc,
+// recvcopy, purity) share, in callgraph.Dump's stable text form. It is
+// the implementation behind `skylint -callgraph`, a debugging aid for
+// answering "why does this function count as hot?" without staging a
+// finding.
+func DumpCallGraph(dir string, patterns []string, opts loader.Options) (string, error) {
+	pkgs, err := loader.Load(dir, patterns, opts)
+	if err != nil {
+		return "", err
+	}
+	if len(pkgs) == 0 {
+		return "", fmt.Errorf("lint: no packages matched %v", patterns)
+	}
+	prog := analysis.NewProgram()
+	var b *callgraph.Builder
+	for _, pkg := range pkgs {
+		pass := &analysis.Pass{
+			Analyzer: HotAlloc,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			PkgPath:  pkg.PkgPath,
+			Info:     pkg.Info,
+		}
+		pass.SetProgram(prog)
+		b = callgraph.Shared(pass)
+	}
+	var sb strings.Builder
+	b.Graph().Dump(&sb)
+	return sb.String(), nil
+}

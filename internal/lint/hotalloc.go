@@ -1,0 +1,300 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"crowdsky/internal/lint/analysis"
+	"crowdsky/internal/lint/analysis/callgraph"
+)
+
+// HotAlloc reports allocation sites reachable from //skylint:hotpath
+// roots, with the call chain that reaches them.
+//
+// CrowdSky's pitch is that the machine part between crowd rounds is
+// effectively free, so the steady-state kernels must not allocate per
+// operation. This analyzer walks the interprocedural call graph from the
+// annotated roots and flags the syntactic shapes that allocate (or are
+// overwhelmingly likely to): unsized make of maps and channels, append
+// (growth is amortized at best, per-op at worst), map and slice
+// composite literals, closures that capture variables (the capture
+// escapes with the closure), interface boxing at call sites, string
+// concatenation, and range-over-map (the hidden iterator, plus
+// nondeterminism the detrange analyzer polices separately).
+//
+// A deliberate allocation is waived at the site with
+// "//skylint:alloc-ok <reason>" — reason mandatory — and the dynamic
+// TestZeroAlloc suite backstops whatever static analysis cannot see.
+var HotAlloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "reports allocation sites reachable from //skylint:hotpath roots " +
+		"(unsized make, append, map/slice literals, escaping closures, interface " +
+		"boxing, string concatenation, range-over-map), with the reaching call chain",
+	Run:    hotallocRun,
+	Finish: hotallocFinish,
+}
+
+// hotPasses returns the analyzer-specific pkg-path → Pass map stored
+// under key. Finish-phase reporting must go through a Pass whose
+// Analyzer is the reporting analyzer and whose package owns the
+// position, so each interprocedural analyzer keeps its own map.
+func hotPasses(pass *analysis.Pass, key string) map[string]*analysis.Pass {
+	m := pass.Program().Fact(key, func() any {
+		return make(map[string]*analysis.Pass)
+	}).(map[string]*analysis.Pass)
+	m[pass.PkgPath] = pass
+	return m
+}
+
+func hotallocRun(pass *analysis.Pass) error {
+	callgraph.Shared(pass)
+	hotPasses(pass, "hotalloc.passes")
+	return nil
+}
+
+func hotallocFinish(prog *analysis.Program) error {
+	b, ok := prog.Fact("callgraph.builder", func() any { return nil }).(*callgraph.Builder)
+	if !ok || b == nil {
+		return nil
+	}
+	passes := prog.Fact("hotalloc.passes", func() any {
+		return make(map[string]*analysis.Pass)
+	}).(map[string]*analysis.Pass)
+	g := b.Graph()
+	reportBadHotpath(g, passes)
+	reach := g.Reachable(func(s callgraph.HotScope) bool {
+		return s == callgraph.HotCompute || s == callgraph.HotServe
+	})
+	for _, n := range g.Nodes {
+		if !reach.Has(n) || n.Body == nil {
+			continue
+		}
+		pass := passes[n.PkgPath]
+		if pass == nil {
+			continue
+		}
+		sc := &allocScan{pass: pass, graph: g, chain: reach.ChainString(n)}
+		sc.scan(n.Body)
+	}
+	return nil
+}
+
+// reportBadHotpath flags //skylint:hotpath directives whose scope
+// argument is not "compute" or "serve"; a typo must not silently drop a
+// root.
+func reportBadHotpath(g *callgraph.Graph, passes map[string]*analysis.Pass) {
+	for _, n := range g.Nodes {
+		if n.Hot != callgraph.HotInvalid {
+			continue
+		}
+		if pass := passes[n.PkgPath]; pass != nil {
+			pass.Reportf(n.Pos, "unknown //skylint:hotpath scope %q (want nothing, \"compute\" or \"serve\")", n.HotRaw)
+		}
+	}
+}
+
+// allocScan walks one hot function body for allocation sites.
+type allocScan struct {
+	pass  *analysis.Pass
+	graph *callgraph.Graph
+	chain string
+}
+
+func (sc *allocScan) scan(body ast.Node) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			// The literal itself is reported (as an escaping capture) at
+			// its own site below via the parent's scan; its body belongs
+			// to its own call-graph node.
+			sc.closureSite(x)
+			return false
+		case *ast.CallExpr:
+			sc.callSite(x)
+		case *ast.CompositeLit:
+			sc.compositeSite(x)
+		case *ast.BinaryExpr:
+			sc.concatSite(x)
+		case *ast.RangeStmt:
+			sc.rangeSite(x)
+		}
+		return true
+	})
+}
+
+// report emits one finding unless an alloc-ok waiver covers the site.
+// Waivers without a reason are themselves findings: an unexplained
+// exemption tells a future reader nothing.
+func (sc *allocScan) report(pos token.Pos, format string, args ...any) {
+	if w := sc.graph.AllocOKAt(pos); w != nil {
+		if w.Reason == "" {
+			sc.pass.Reportf(w.Pos, "//skylint:alloc-ok needs a reason, like the baseline")
+		}
+		return
+	}
+	args = append(args, sc.chain)
+	sc.pass.Reportf(pos, format+" on hot path (%s)", args...)
+}
+
+// callSite flags unsized makes, appends and interface boxing of the
+// call's arguments.
+func (sc *allocScan) callSite(call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if bi, ok := sc.pass.Info.Uses[id].(*types.Builtin); ok {
+			switch bi.Name() {
+			case "make":
+				sc.makeSite(call)
+			case "append":
+				sc.report(call.Pos(), "append may grow its backing array; pre-size or reuse a buffer")
+			}
+			return
+		}
+	}
+	if tv, ok := sc.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: T(x) boxes when T is an interface and x is not
+		// pointer-shaped.
+		if t := sc.pass.Info.TypeOf(call); t != nil && len(call.Args) == 1 {
+			sc.boxingAt(call.Args[0], t)
+		}
+		return
+	}
+	sig, _ := sc.pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // f(xs...): no per-arg boxing
+			}
+			if sl, ok := params.At(params.Len() - 1).Type().Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil {
+			sc.boxingAt(arg, pt)
+		}
+	}
+}
+
+// boxingAt flags arg when assigning it to target requires boxing: the
+// target is an interface, the argument is a concrete type that is not
+// pointer-shaped (pointers, maps, channels and funcs fit in the
+// interface word without allocating; other values escape to the heap).
+func (sc *allocScan) boxingAt(arg ast.Expr, target types.Type) {
+	if !types.IsInterface(target) {
+		return
+	}
+	at := sc.pass.Info.TypeOf(arg)
+	if at == nil || types.IsInterface(at) {
+		return
+	}
+	if tv, ok := sc.pass.Info.Types[arg]; ok && tv.Value != nil {
+		return // untyped constants may be folded into static iface data
+	}
+	switch at.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return
+	}
+	if bt, ok := at.Underlying().(*types.Basic); ok && bt.Kind() == types.UnsafePointer {
+		return
+	}
+	sc.report(arg.Pos(), "interface boxing of %s", types.TypeString(at, types.RelativeTo(sc.pass.Pkg)))
+}
+
+func (sc *allocScan) makeSite(call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return // sized make: capacity was thought about
+	}
+	t := sc.pass.Info.TypeOf(call)
+	if t == nil {
+		return
+	}
+	sc.report(call.Pos(), "unsized make(%s); hint a capacity", types.TypeString(t, types.RelativeTo(sc.pass.Pkg)))
+}
+
+func (sc *allocScan) compositeSite(lit *ast.CompositeLit) {
+	t := sc.pass.Info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		sc.report(lit.Pos(), "map literal allocates")
+	case *types.Slice:
+		sc.report(lit.Pos(), "slice literal allocates")
+	}
+}
+
+// closureSite flags function literals that capture enclosing variables:
+// the captures escape to the heap with the closure. Capture-free
+// literals compile to a static function value and are left alone.
+func (sc *allocScan) closureSite(lit *ast.FuncLit) {
+	if capture := sc.freeVar(lit); capture != "" {
+		sc.report(lit.Pos(), "closure captures %q and escapes; hoist it or pass parameters", capture)
+	}
+}
+
+// freeVar returns the name of one variable the literal captures from an
+// enclosing function, or "".
+func (sc *allocScan) freeVar(lit *ast.FuncLit) string {
+	pkgScope := sc.pass.Pkg.Scope()
+	var found string
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := sc.pass.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == pkgScope || v.Parent() == types.Universe {
+			return true // package-level: shared, not captured
+		}
+		if lit.Pos() <= v.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal
+		}
+		found = v.Name()
+		return false
+	})
+	return found
+}
+
+func (sc *allocScan) concatSite(be *ast.BinaryExpr) {
+	if be.Op != token.ADD {
+		return
+	}
+	t := sc.pass.Info.TypeOf(be)
+	if t == nil {
+		return
+	}
+	bt, ok := t.Underlying().(*types.Basic)
+	if !ok || bt.Info()&types.IsString == 0 {
+		return
+	}
+	if tv, ok := sc.pass.Info.Types[be]; ok && tv.Value != nil {
+		return // constant-folded at compile time
+	}
+	sc.report(be.OpPos, "string concatenation allocates; use a reused buffer")
+}
+
+func (sc *allocScan) rangeSite(rs *ast.RangeStmt) {
+	t := sc.pass.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); ok {
+		sc.report(rs.For, "range over map allocates its iterator (and is nondeterministic)")
+	}
+}

@@ -27,7 +27,9 @@ import (
 
 // All returns every skylint analyzer, in stable order: the first
 // generation of lexical checks, then the CFG/dataflow generation
-// (lockorder through goroleak) and the cross-package schema check.
+// (lockorder through goroleak), the cross-package schema check, and the
+// interprocedural hot-path generation built on the call graph
+// (hotalloc through purity).
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		GuardedBy,
@@ -40,6 +42,9 @@ func All() []*analysis.Analyzer {
 		WgBalance,
 		GoroLeak,
 		TraceSchema,
+		HotAlloc,
+		RecvCopy,
+		Purity,
 	}
 }
 

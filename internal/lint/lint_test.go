@@ -21,12 +21,22 @@ func TestAnalyzerFixtures(t *testing.T) {
 	}
 }
 
+// TestCrossPackageChain runs hotalloc over the two-package fixture: the
+// root is in package hot, the allocation two hops down in package
+// kernel, and the finding must carry the full cross-package chain. This
+// is the acceptance check for interprocedural summary propagation.
+func TestCrossPackageChain(t *testing.T) {
+	analysistest.RunMulti(t, filepath.Join("testdata", "callgraph"),
+		[]string{"hot", "kernel"}, lint.HotAlloc)
+}
+
 // TestAnalyzerRegistry pins the analyzer set: removing one from All()
 // silently removes a correctness contract from CI.
 func TestAnalyzerRegistry(t *testing.T) {
 	want := []string{
 		"guardedby", "detrange", "niltrace", "floateq", "errdrop",
 		"lockorder", "ctxleak", "wgbalance", "goroleak", "traceschema",
+		"hotalloc", "recvcopy", "purity",
 	}
 	all := lint.All()
 	if len(all) != len(want) {

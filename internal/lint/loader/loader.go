@@ -17,6 +17,7 @@ import (
 	"go/types"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 )
 
@@ -89,6 +90,121 @@ func LoadDir(dir, pkgPath string) (*Package, error) {
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "source", nil)
 	return typecheck(fset, imp, pkgPath, "", matches)
+}
+
+// LoadDirs loads the named subdirectories of root as one multi-package
+// fixture: every .go file directly inside each subdirectory forms a
+// package whose import path is the subdirectory name, and the packages
+// may import each other by that name ("kernel" imports nothing, "hot"
+// imports "kernel"). All packages share one FileSet, so cross-package
+// positions stay comparable — the property the interprocedural
+// analyzers' tests rely on.
+//
+// Packages are type-checked in local-dependency order (discovered from
+// the import clauses), through an importer that serves already-checked
+// fixture packages first and falls back to the source importer for the
+// standard library.
+func LoadDirs(root string, dirs []string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	chain := &chainImporter{
+		local:    make(map[string]*types.Package, len(dirs)),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	names := make(map[string]bool, len(dirs))
+	for _, d := range dirs {
+		names[d] = true
+	}
+	// Discover local imports with an imports-only parse, then order the
+	// packages so dependencies are checked before their importers.
+	deps := make(map[string][]string, len(dirs))
+	files := make(map[string][]string, len(dirs))
+	for _, d := range dirs {
+		matches, err := filepath.Glob(filepath.Join(root, d, "*.go"))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("loader: no .go files in %s", filepath.Join(root, d))
+		}
+		files[d] = matches
+		for _, f := range matches {
+			parsed, err := parser.ParseFile(fset, f, nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, fmt.Errorf("loader: %v", err)
+			}
+			for _, imp := range parsed.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err == nil && names[path] {
+					deps[d] = append(deps[d], path)
+				}
+			}
+		}
+	}
+	order, err := topoSort(dirs, deps)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, d := range order {
+		pkg, err := typecheck(fset, chain, d, filepath.Join(root, d), files[d])
+		if err != nil {
+			return nil, err
+		}
+		chain.local[d] = pkg.Pkg
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// chainImporter resolves fixture packages by name before delegating to
+// the source importer.
+type chainImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := c.local[path]; ok {
+		return pkg, nil
+	}
+	return c.fallback.Import(path)
+}
+
+// topoSort orders dirs so every package follows its local dependencies;
+// ties keep the caller's order. Cycles are an error: fixture packages
+// must form a DAG like real Go packages.
+func topoSort(dirs []string, deps map[string][]string) ([]string, error) {
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[string]int, len(dirs))
+	var order []string
+	var visit func(string) error
+	visit = func(d string) error {
+		switch state[d] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("loader: fixture import cycle through %q", d)
+		}
+		state[d] = visiting
+		for _, dep := range deps[d] {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[d] = done
+		order = append(order, d)
+		return nil
+	}
+	for _, d := range dirs {
+		if err := visit(d); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
 }
 
 func goList(dir string, patterns []string) ([]listEntry, error) {

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"strings"
+
+	"crowdsky/internal/lint/analysis"
+	"crowdsky/internal/lint/analysis/callgraph"
+)
+
+// Purity reports hot compute kernels that reach I/O, locking or
+// fmt/log — the classic "debug print left in the kernel" regression,
+// plus the subtler ones where a helper three calls down picks up a
+// mutex.
+//
+// Scope: only //skylint:hotpath (compute) roots. Serve-scope roots are
+// request handlers, which legitimately lock and write responses; for
+// them only the allocation and copy disciplines apply.
+//
+// Mechanically this is the summary framework's showcase: an effect
+// bitmask per function, computed bottom-up over the call graph's SCC
+// condensation (mutual recursion iterates to a fixpoint), then findings
+// anchored at the deepest direct impure call of each reachable function
+// so the message names both the offending call and the kernel it
+// poisons.
+var Purity = &analysis.Analyzer{
+	Name: "purity",
+	Doc: "reports calls into I/O, locking or fmt/log reachable from " +
+		"//skylint:hotpath compute kernels, via bottom-up effect summaries",
+	Run:    purityRun,
+	Finish: purityFinish,
+}
+
+func purityRun(pass *analysis.Pass) error {
+	callgraph.Shared(pass)
+	hotPasses(pass, "purity.passes")
+	return nil
+}
+
+// Effect bits of the per-function summary.
+const (
+	effIO uint = 1 << iota
+	effLock
+	effFmtLog
+)
+
+func effectString(eff uint) string {
+	var parts []string
+	if eff&effIO != 0 {
+		parts = append(parts, "I/O")
+	}
+	if eff&effLock != 0 {
+		parts = append(parts, "locking")
+	}
+	if eff&effFmtLog != 0 {
+		parts = append(parts, "fmt/log")
+	}
+	return strings.Join(parts, "+")
+}
+
+// ioPkgs are the packages whose mere mention on a compute path is an
+// I/O effect. Interface calls count too: io.Writer.Write is I/O no
+// matter what hides behind it.
+var ioPkgs = map[string]bool{
+	"os": true, "io": true, "io/fs": true, "bufio": true,
+	"net": true, "net/http": true, "syscall": true,
+}
+
+// classifyExternal maps one out-of-program call to its effect bits.
+func classifyExternal(ext *callgraph.External) uint {
+	switch {
+	case ext.PkgPath == "sync":
+		return effLock
+	case ext.PkgPath == "fmt" || ext.PkgPath == "log" || ext.PkgPath == "log/slog":
+		return effFmtLog
+	case ioPkgs[ext.PkgPath]:
+		return effIO
+	}
+	return 0
+}
+
+func purityFinish(prog *analysis.Program) error {
+	b, ok := prog.Fact("callgraph.builder", func() any { return nil }).(*callgraph.Builder)
+	if !ok || b == nil {
+		return nil
+	}
+	passes := prog.Fact("purity.passes", func() any {
+		return make(map[string]*analysis.Pass)
+	}).(map[string]*analysis.Pass)
+	g := b.Graph()
+
+	// Bottom-up effect summaries: a function's effect is its own direct
+	// external effects plus the union of its callees'. The union is
+	// monotone, so cyclic components converge.
+	summaries := g.BottomUp(func(n *callgraph.Node, get func(*callgraph.Node) any) any {
+		eff := uint(0)
+		for _, ext := range n.External {
+			eff |= classifyExternal(ext)
+		}
+		for _, e := range n.Out {
+			if v, ok := get(e.Callee).(uint); ok {
+				eff |= v
+			}
+		}
+		return eff
+	})
+
+	reach := g.Reachable(func(s callgraph.HotScope) bool {
+		return s == callgraph.HotCompute
+	})
+	for _, n := range g.Nodes {
+		if !reach.Has(n) {
+			continue
+		}
+		if eff, _ := summaries[n].(uint); eff == 0 {
+			continue // summary says the whole subtree is pure: skip it
+		}
+		pass := passes[n.PkgPath]
+		if pass == nil {
+			continue
+		}
+		// Report this function's *direct* impure calls; deeper ones are
+		// reported at the callee they occur in, with their own chain.
+		for _, ext := range n.External {
+			eff := classifyExternal(ext)
+			if eff == 0 {
+				continue
+			}
+			pass.Reportf(ext.Site, "call to %s (%s) on hot compute path (%s)",
+				ext, effectString(eff), reach.ChainString(n))
+		}
+	}
+	return nil
+}

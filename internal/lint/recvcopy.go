@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"crowdsky/internal/lint/analysis"
+	"crowdsky/internal/lint/analysis/callgraph"
+)
+
+// recvCopyLimit is the by-value size budget on hot paths: four words on
+// the fixed reference architecture. Sizes are computed for gc/amd64
+// regardless of the host, so findings — and the baseline — are identical
+// on every machine that runs skylint.
+const recvCopyLimit = 4 * 8
+
+var recvCopySizes = types.SizesFor("gc", "amd64")
+
+// RecvCopy reports by-value receivers and parameters of large structs on
+// functions reachable from //skylint:hotpath roots.
+//
+// A struct beyond a few words passed by value is copied on every call —
+// invisible in profiles as anything but a diffuse memmove tax, and on
+// the per-question serving path it recurs for every worker poll. The
+// limit is 4 words (32 bytes on amd64): at and below that, registers
+// make copies cheap and aliasing-freedom is usually worth more than the
+// copy; above it, pass a pointer.
+var RecvCopy = &analysis.Analyzer{
+	Name: "recvcopy",
+	Doc: "reports by-value receivers/params of structs larger than 4 words " +
+		"(gc/amd64 sizes) on functions reachable from //skylint:hotpath roots",
+	Run:    recvCopyRun,
+	Finish: recvCopyFinish,
+}
+
+func recvCopyRun(pass *analysis.Pass) error {
+	callgraph.Shared(pass)
+	hotPasses(pass, "recvcopy.passes")
+	return nil
+}
+
+func recvCopyFinish(prog *analysis.Program) error {
+	b, ok := prog.Fact("callgraph.builder", func() any { return nil }).(*callgraph.Builder)
+	if !ok || b == nil {
+		return nil
+	}
+	passes := prog.Fact("recvcopy.passes", func() any {
+		return make(map[string]*analysis.Pass)
+	}).(map[string]*analysis.Pass)
+	g := b.Graph()
+	reach := g.Reachable(func(s callgraph.HotScope) bool {
+		return s == callgraph.HotCompute || s == callgraph.HotServe
+	})
+	for _, n := range g.Nodes {
+		if !reach.Has(n) || n.Decl == nil {
+			continue
+		}
+		pass := passes[n.PkgPath]
+		if pass == nil {
+			continue
+		}
+		fn, _ := pass.Info.Defs[n.Decl.Name].(*types.Func)
+		if fn == nil {
+			continue
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil {
+			continue
+		}
+		chain := reach.ChainString(n)
+		if recv := sig.Recv(); recv != nil && n.Decl.Recv != nil {
+			checkCopy(pass, recv, recvFieldPos(n.Decl), "receiver", chain)
+		}
+		params := sig.Params()
+		fields := flattenParams(n.Decl.Type.Params)
+		for i := 0; i < params.Len() && i < len(fields); i++ {
+			checkCopy(pass, params.At(i), fields[i], "parameter", chain)
+		}
+	}
+	return nil
+}
+
+// recvFieldPos anchors the finding on the receiver field.
+func recvFieldPos(decl *ast.FuncDecl) token.Pos {
+	if decl.Recv != nil && len(decl.Recv.List) > 0 {
+		return decl.Recv.List[0].Pos()
+	}
+	return decl.Pos()
+}
+
+// flattenParams expands grouped parameters (a, b T) into one position
+// per declared parameter, aligning with types.Signature.Params.
+func flattenParams(fl *ast.FieldList) []token.Pos {
+	if fl == nil {
+		return nil
+	}
+	var out []token.Pos
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			out = append(out, f.Pos()) // unnamed parameter
+			continue
+		}
+		for _, name := range f.Names {
+			out = append(out, name.Pos())
+		}
+	}
+	return out
+}
+
+// checkCopy reports v when it is a struct or array larger than the
+// by-value budget.
+func checkCopy(pass *analysis.Pass, v *types.Var, pos token.Pos, what, chain string) {
+	t := v.Type()
+	switch t.Underlying().(type) {
+	case *types.Struct, *types.Array:
+	default:
+		return
+	}
+	size := recvCopySizes.Sizeof(t)
+	if size <= recvCopyLimit {
+		return
+	}
+	pass.Reportf(pos, "%s %s copies %d bytes per call on hot path (%s); pass *%s",
+		what, types.TypeString(t, types.RelativeTo(pass.Pkg)), size, chain,
+		types.TypeString(t, types.RelativeTo(pass.Pkg)))
+}

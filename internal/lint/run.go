@@ -136,7 +136,10 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer, opts loa
 	if err == nil {
 		for i := range all {
 			if rel, rerr := filepath.Rel(absDir, all[i].File); rerr == nil && !filepath.IsAbs(rel) && rel[0] != '.' {
-				all[i].File = rel
+				// Forward slashes regardless of platform, so baselines
+				// and SARIF logs recorded under one checkout match any
+				// other (different absolute root, different OS).
+				all[i].File = filepath.ToSlash(rel)
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"encoding/json"
+	"path/filepath"
 
 	"crowdsky/internal/lint/analysis"
 )
@@ -89,7 +90,8 @@ func ToSARIF(findings []Finding, analyzers []*analysis.Analyzer) ([]byte, error)
 			Message: sarifMessage{Text: f.Message},
 			Locations: []sarifLocation{{
 				PhysicalLocation: sarifPhysicalLocation{
-					ArtifactLocation: sarifArtifactLocation{URI: f.File},
+					// SARIF artifact URIs always use forward slashes.
+					ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(f.File)},
 					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
 				},
 			}},

@@ -1,0 +1,12 @@
+// Package hot declares the hot-path root; everything it reaches lives
+// in package kernel.
+package hot
+
+import "kernel"
+
+// Root is the annotated entry point.
+//
+//skylint:hotpath
+func Root(xs []int) []int {
+	return kernel.Mid(xs)
+}

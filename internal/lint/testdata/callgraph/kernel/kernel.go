@@ -1,0 +1,12 @@
+// Package kernel is the callee side of the cross-package fixture: the
+// hot root lives in package hot and reaches Leaf through Mid, so the
+// reported chain crosses the package boundary and spans two hops.
+package kernel
+
+// Mid forwards to Leaf.
+func Mid(xs []int) []int { return Leaf(xs) }
+
+// Leaf allocates, two hops from the root in the other package.
+func Leaf(xs []int) []int {
+	return append(xs, 1) // want `append may grow its backing array; pre-size or reuse a buffer on hot path \(hot\.Root -> kernel\.Mid -> kernel\.Leaf\)`
+}

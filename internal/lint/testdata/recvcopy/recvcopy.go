@@ -1,0 +1,35 @@
+// Package recvcopy exercises the large-by-value check on hot-reachable
+// functions: a 5-word struct crosses the 4-word budget, receivers and
+// parameters alike; pointers and small structs are clean.
+package recvcopy
+
+// Big is five words (40 bytes on gc/amd64): over budget.
+type Big struct{ A, B, C, D, E int64 }
+
+// Small is two words: within budget.
+type Small struct{ A, B int64 }
+
+// Root is the hot entry; its own parameter is already over budget.
+//
+//skylint:hotpath
+func Root(b Big) int { // want `parameter Big copies 40 bytes per call on hot path \(recvcopy\.Root\); pass \*Big`
+	return b.Sum() + use(b) + ptr(&b) + small(Small{A: 1})
+}
+
+// Sum copies its receiver on every call.
+func (b Big) Sum() int { // want `receiver Big copies 40 bytes per call on hot path \(recvcopy\.Root -> \(recvcopy\.Big\)\.Sum\); pass \*Big`
+	return int(b.A + b.B)
+}
+
+func use(b Big) int { // want `parameter Big copies 40 bytes per call on hot path \(recvcopy\.Root -> recvcopy\.use\); pass \*Big`
+	return int(b.C)
+}
+
+// ptr passes a pointer: clean.
+func ptr(b *Big) int { return int(b.D) }
+
+// small is by value but within the budget: clean.
+func small(s Small) int { return int(s.A) }
+
+// unreached is large-by-value but cold: clean.
+func unreached(b Big) int { return int(b.E) }

@@ -18,6 +18,8 @@
 package prefgraph
 
 import (
+	"math/bits"
+
 	"crowdsky/internal/bitset"
 )
 
@@ -102,6 +104,8 @@ func (g *Graph) find(x int) int {
 }
 
 // Known returns the recorded-or-inferable relation between s and t.
+//
+//skylint:hotpath
 func (g *Graph) Known(s, t int) Relation {
 	rs, rt := g.find(s), g.find(t)
 	switch {
@@ -118,12 +122,16 @@ func (g *Graph) Known(s, t int) Relation {
 
 // Prefers reports whether s is strictly preferred over t (directly or by
 // transitivity).
+//
+//skylint:hotpath
 func (g *Graph) Prefers(s, t int) bool {
 	rs, rt := g.find(s), g.find(t)
 	return rs != rt && g.reach[rs].Has(rt)
 }
 
 // WeaklyPrefers reports s ⪯ t: s strictly preferred over t, or equal.
+//
+//skylint:hotpath
 func (g *Graph) WeaklyPrefers(s, t int) bool {
 	rs, rt := g.find(s), g.find(t)
 	return rs == rt || g.reach[rs].Has(rt)
@@ -136,6 +144,12 @@ func (g *Graph) Comparable(s, t int) bool { return g.Known(s, t) != Unknown }
 // false when the answer contradicts the current graph (t already preferred
 // over s); the contradiction is counted and the graph is unchanged. Adding
 // an already-known preference is a no-op returning true.
+//
+// The propagation loops iterate the bit words directly rather than going
+// through ForEach: a closure over (g, v, down) would be re-created — and
+// heap-allocated — on every insertion, on the per-answer hot path.
+//
+//skylint:hotpath
 func (g *Graph) AddPrefer(s, t int) bool {
 	u, v := g.find(s), g.find(t)
 	if u == v || g.reach[v].Has(u) {
@@ -152,32 +166,50 @@ func (g *Graph) AddPrefer(s, t int) bool {
 	down := g.reach[v]
 	up := g.coreach[u]
 
-	apply := func(a int) {
-		r := g.reach[a]
-		if !r.Has(v) {
-			r.Add(v)
-			r.Or(down)
+	g.extendDown(u, v, down)
+	for wi, w := range up {
+		for w != 0 {
+			a := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			g.extendDown(a, v, down)
 		}
 	}
-	apply(u)
-	up.ForEach(apply)
 
-	applyUp := func(d int) {
-		c := g.coreach[d]
-		if !c.Has(u) {
-			c.Add(u)
-			c.Or(up)
+	g.extendUp(v, u, up)
+	for wi, w := range down {
+		for w != 0 {
+			d := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			g.extendUp(d, u, up)
 		}
 	}
-	applyUp(v)
-	down.ForEach(applyUp)
 	return true
+}
+
+// extendDown makes v and its descendants (down) reachable from a.
+func (g *Graph) extendDown(a, v int, down bitset.Set) {
+	r := g.reach[a]
+	if !r.Has(v) {
+		r.Add(v)
+		r.Or(down)
+	}
+}
+
+// extendUp makes u and its ancestors (up) co-reachable from d.
+func (g *Graph) extendUp(d, u int, up bitset.Set) {
+	c := g.coreach[d]
+	if !c.Has(u) {
+		c.Add(u)
+		c.Or(up)
+	}
 }
 
 // AddEqual records the crowd answer "s and t are equally preferred",
 // merging their equivalence classes. It returns false (counting a
 // contradiction, graph unchanged) when a strict preference between the two
 // is already known.
+//
+//skylint:hotpath
 func (g *Graph) AddEqual(s, t int) bool {
 	u, v := g.find(s), g.find(t)
 	if u == v {
@@ -205,17 +237,28 @@ func (g *Graph) AddEqual(s, t int) bool {
 	// Canonicalize: wherever the absorbed representative appears as a bit,
 	// the surviving one must appear too, and the neighbors must see the
 	// merged closure. Ancestors of the class gain r's descendants;
-	// descendants gain r's ancestors.
-	g.coreach[r].ForEach(func(a int) {
-		ra := g.reach[a]
-		ra.Add(r)
-		ra.Or(g.reach[r])
-	})
-	g.reach[r].ForEach(func(d int) {
-		cd := g.coreach[d]
-		cd.Add(r)
-		cd.Or(g.coreach[r])
-	})
+	// descendants gain r's ancestors. Unconditionally — a neighbor that
+	// already saw r still needs the bits just inherited from l — and
+	// word-wise for the same reason as AddPrefer: no per-merge closure
+	// allocations.
+	for wi, w := range g.coreach[r] {
+		for w != 0 {
+			a := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			ra := g.reach[a]
+			ra.Add(r)
+			ra.Or(g.reach[r])
+		}
+	}
+	for wi, w := range g.reach[r] {
+		for w != 0 {
+			d := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			cd := g.coreach[d]
+			cd.Add(r)
+			cd.Or(g.coreach[r])
+		}
+	}
 	return true
 }
 

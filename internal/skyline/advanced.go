@@ -65,7 +65,8 @@ func dcSkyline(d *dataset.Dataset, idx []int, depth int) []int {
 	skyWorse := dcSkyline(d, worse, depth+1)
 	// Merge: a worse-half skyline tuple survives only if no better-half
 	// skyline tuple dominates it.
-	merged := append([]int(nil), skyBetter...)
+	merged := make([]int, len(skyBetter), len(skyBetter)+len(skyWorse))
+	copy(merged, skyBetter)
 	for _, t := range skyWorse {
 		dominated := false
 		for _, s := range skyBetter {
@@ -158,7 +159,13 @@ func skyTreeRec(d *dataset.Dataset, idx []int, out *[]int) {
 	// pivot dominates are dropped outright; mask 0 then only holds exact
 	// twins of the pivot (the pivot's minimal sum forbids anything
 	// dominating it), which stay in play as incomparable tuples.
-	regions := make(map[int][]int)
+	// At most one region per surviving tuple and one per non-empty mask,
+	// whichever bound is tighter.
+	nRegions := len(idx)
+	if dk < 10 && (1<<dk)-1 < nRegions {
+		nRegions = (1 << dk) - 1
+	}
+	regions := make(map[int][]int, nRegions)
 	for _, t := range idx {
 		if t == pivot {
 			continue

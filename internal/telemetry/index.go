@@ -32,7 +32,7 @@ func InstrumentIndex(reg *Registry) *IndexMetrics {
 }
 
 // Emit implements Tracer.
-func (m *IndexMetrics) Emit(e Event) {
+func (m *IndexMetrics) Emit(e Event) { // skylint:ignore recvcopy Emit's by-value signature is pinned by the Tracer interface
 	if e.Type != EventIndexBuild {
 		return
 	}

@@ -164,6 +164,7 @@ func (s *Span) End() {
 	var attrs map[string]string
 	if len(s.attrs) > 0 {
 		attrs = make(map[string]string, len(s.attrs))
+		//skylint:alloc-ok the span is ending; one snapshot of its few attrs under the lock
 		for k, v := range s.attrs {
 			attrs[k] = v
 		}
@@ -182,6 +183,7 @@ type remoteKey struct{}
 
 // ContextWithSpan returns a context carrying span as the active span.
 func ContextWithSpan(ctx context.Context, span *Span) context.Context {
+	//skylint:alloc-ok the zero-size key boxes to the runtime's shared zerobase, not the heap
 	return context.WithValue(ctx, spanKey{}, span)
 }
 
@@ -190,6 +192,7 @@ func SpanFromContext(ctx context.Context) *Span {
 	if ctx == nil {
 		return nil
 	}
+	//skylint:alloc-ok the zero-size key boxes to the runtime's shared zerobase, not the heap
 	s, _ := ctx.Value(spanKey{}).(*Span)
 	return s
 }
@@ -232,6 +235,7 @@ func StartSpan(ctx context.Context, tracer Tracer, name string) (context.Context
 		if tracer == nil {
 			tracer = parent.tracer
 		}
+		//skylint:alloc-ok the zero-size key boxes to the runtime's shared zerobase, not the heap
 	} else if rsc, ok := ctx.Value(remoteKey{}).(SpanContext); ok && rsc.Valid() {
 		traceID, parentID = rsc.TraceID, rsc.SpanID
 	}
