@@ -144,13 +144,20 @@ func parseSizes(s string) ([]int, error) {
 
 func main() {
 	var (
-		outPath = flag.String("out", "BENCH_PR4.json", "output file, or - for stdout")
-		sizesCS = flag.String("sizes", "1000,5000,10000,20000", "comma-separated dataset cardinalities")
-		quick   = flag.Bool("quick", false, "smoke mode: n=1000 only (overrides -sizes)")
-		seed    = flag.Int64("seed", 1, "dataset generator seed")
-		baseCmp = flag.String("compare", "", "baseline BENCH_*.json: print a Markdown ns/op comparison and flag >10% regressions (never fails the run)")
+		outPath   = flag.String("out", "BENCH_PR4.json", "output file, or - for stdout")
+		sizesCS   = flag.String("sizes", "1000,5000,10000,20000", "comma-separated dataset cardinalities")
+		quick     = flag.Bool("quick", false, "smoke mode: n=1000 only (overrides -sizes)")
+		seed      = flag.Int64("seed", 1, "dataset generator seed")
+		baseCmp   = flag.String("compare", "", "baseline BENCH_*.json: print a Markdown ns/op comparison and flag >10% regressions (never fails the run)")
+		chaos     = flag.Bool("chaos", false, "run the fault-injection resilience session instead of benchmarks; exits non-zero on any invariant violation")
+		chaosSeed = flag.Int64("chaos-seed", 1234, "fault plan seed for -chaos (same seed, same fault schedule)")
+		chaosDir  = flag.String("chaos-dir", "chaos-artifacts", "directory for -chaos failure artifacts (journals, server trace)")
 	)
 	flag.Parse()
+
+	if *chaos {
+		os.Exit(runChaos(*chaosSeed, *chaosDir, os.Stdout))
+	}
 
 	sizes, err := parseSizes(*sizesCS)
 	if err != nil {

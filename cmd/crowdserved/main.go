@@ -55,6 +55,13 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(logger)
 
+	// One context for the whole process: SIGINT/SIGTERM cancels it, and
+	// everything — simulated workers, the snapshot loop, the HTTP server —
+	// winds down from there so in-flight judgments finish and the final
+	// snapshot sees them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	srv := crowdserve.NewServer()
 	srv.SetLease(*lease)
 
@@ -81,22 +88,21 @@ func main() {
 			os.Exit(1)
 		}
 		logger.Debug("state restored", "file", *state)
-		// Periodic snapshots plus a final one on shutdown signals.
+		// Periodic snapshots; the final authoritative one happens after
+		// Shutdown below, once no handler can still mutate state.
 		go func() {
-			for range time.Tick(10 * time.Second) {
-				if err := srv.SaveFile(*state); err != nil {
-					logger.Error("saving state", "file", *state, "err", err)
+			tick := time.NewTicker(10 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if err := srv.SaveFile(*state); err != nil {
+						logger.Error("saving state", "file", *state, "err", err)
+					}
 				}
 			}
-		}()
-		sigCh := make(chan os.Signal, 1)
-		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sigCh
-			if err := srv.SaveFile(*state); err != nil {
-				logger.Error("saving state", "file", *state, "err", err)
-			}
-			os.Exit(0)
 		}()
 	}
 
@@ -122,7 +128,7 @@ func main() {
 		go func() {
 			// Give the listener a moment; workers retry anyway.
 			time.Sleep(100 * time.Millisecond)
-			crowdserve.SimulateWorkers(context.Background(), baseURL, crowdserve.WorkerConfig{
+			crowdserve.SimulateWorkers(ctx, baseURL, crowdserve.WorkerConfig{
 				Count:       *simWorkers,
 				Truth:       crowd.DatasetTruth{Data: d},
 				Reliability: *reliability,
@@ -142,9 +148,32 @@ func main() {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
 	logger.Info("crowdserved listening", "addr", *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+
+	select {
+	case err := <-errCh:
 		logger.Error("server exited", "err", err)
 		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight handlers (judgment
+	// submissions, round posts) finish, then snapshot the settled state so
+	// a restart resumes exactly where the workers left off.
+	logger.Info("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logger.Error("graceful shutdown incomplete", "err", err)
+	}
+	if *state != "" {
+		if err := srv.SaveFile(*state); err != nil {
+			logger.Error("saving final state", "file", *state, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("final state saved", "file", *state)
 	}
 }

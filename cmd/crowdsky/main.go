@@ -151,13 +151,25 @@ func main() {
 }
 
 // withJournal wraps the platform with journaling and resume: existing
-// entries in path are replayed for free, new answers are appended.
+// entries in path are replayed for free, new answers are appended. A
+// journal torn by a crash is recovered to its intact prefix — the file is
+// truncated at the corruption point before appending resumes, so the torn
+// bytes can never concatenate with a fresh record.
 func withJournal(path string, pf crowdsky.Platform) (crowdsky.Platform, func(), error) {
 	var entries []journal.Entry
 	if data, err := os.ReadFile(path); err == nil {
-		entries, err = journal.Read(bytes.NewReader(data))
+		var stats journal.RecoverStats
+		entries, stats, err = journal.Recover(bytes.NewReader(data))
 		if err != nil {
 			return nil, nil, fmt.Errorf("reading journal %s: %w", path, err)
+		}
+		if stats.Dropped > 0 {
+			fmt.Fprintf(os.Stderr,
+				"WARNING: journal %s is torn: kept %d intact answers, dropped %d corrupt record(s); truncating to the intact prefix\n",
+				path, len(entries), stats.Dropped)
+			if err := os.Truncate(path, stats.IntactBytes); err != nil {
+				return nil, nil, fmt.Errorf("truncating torn journal %s: %w", path, err)
+			}
 		}
 		fmt.Fprintf(os.Stderr, "resuming from journal %s (%d answers)\n", path, len(entries))
 	} else if !os.IsNotExist(err) {

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"syscall"
 
 	"crowdsky/internal/crowd"
 )
@@ -21,13 +23,14 @@ import (
 
 // snapshot is the wire form of the server state.
 type snapshot struct {
-	NextRoundID int64           `json:"next_round_id"`
-	NextAssign  int64           `json:"next_assign"`
-	Judgments   int             `json:"judgments"`
-	Requeues    int             `json:"lease_requeues,omitempty"`
-	PerWorker   map[string]int  `json:"judgments_by_worker,omitempty"`
-	Rounds      []roundSnapshot `json:"rounds"`
-	Open        []assignSnap    `json:"open"`
+	NextRoundID int64            `json:"next_round_id"`
+	NextAssign  int64            `json:"next_assign"`
+	Judgments   int              `json:"judgments"`
+	Requeues    int              `json:"lease_requeues,omitempty"`
+	PerWorker   map[string]int   `json:"judgments_by_worker,omitempty"`
+	Idempotency map[string]int64 `json:"idempotency,omitempty"`
+	Rounds      []roundSnapshot  `json:"rounds"`
+	Open        []assignSnap     `json:"open"`
 }
 
 type roundSnapshot struct {
@@ -60,6 +63,15 @@ func (s *Server) Snapshot(w io.Writer) error {
 		snap.PerWorker = make(map[string]int, len(s.perWorker))
 		for id, n := range s.perWorker {
 			snap.PerWorker[id] = n
+		}
+	}
+	// The idempotency cache must survive restarts: a client retrying a
+	// submission across a server crash must still get the original round.
+	// (JSON object keys marshal sorted, so this stays byte-stable.)
+	if len(s.idem) > 0 {
+		snap.Idempotency = make(map[string]int64, len(s.idem))
+		for k, id := range s.idem {
+			snap.Idempotency[k] = id
 		}
 	}
 	// Iterate rounds in ascending id order: snapshots must be byte-stable
@@ -125,6 +137,10 @@ func (s *Server) Restore(r io.Reader) error {
 	for id, n := range snap.PerWorker {
 		s.perWorker[id] = n
 	}
+	s.idem = make(map[string]int64, len(snap.Idempotency))
+	for k, id := range snap.Idempotency {
+		s.idem[k] = id
+	}
 	s.rounds = make(map[int64]*round, len(snap.Rounds))
 	s.queue = nil
 	s.leased = make(map[int64]*assignment)
@@ -181,9 +197,13 @@ func (s *Server) Restore(r io.Reader) error {
 	return nil
 }
 
-// SaveFile writes a snapshot atomically (temp file + rename). Every step
-// reports its error — a silently half-written snapshot would lose paid
-// crowd judgments on the next restart.
+// SaveFile writes a snapshot crash-safely: the bytes go to a temp file,
+// are fsynced to stable storage, and only then atomically renamed over
+// the destination (followed by a directory sync so the rename itself is
+// durable). A crash at any point leaves either the old snapshot or the
+// new one — never a torn mix. Every step reports its error — a silently
+// half-written snapshot would lose paid crowd judgments on the next
+// restart.
 func (s *Server) SaveFile(path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -191,6 +211,11 @@ func (s *Server) SaveFile(path string) error {
 		return err
 	}
 	err = s.Snapshot(f)
+	if err == nil {
+		// Force the snapshot bytes to disk before the rename makes them
+		// visible: rename-before-flush can publish an empty file on crash.
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -200,7 +225,28 @@ func (s *Server) SaveFile(path string) error {
 		}
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss.
+// Filesystems that reject directory fsync (some network mounts) degrade
+// to the rename's own guarantees rather than failing the save.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+		return nil
+	}
+	return err
 }
 
 // LoadFile restores state from a snapshot file; a missing file is not an

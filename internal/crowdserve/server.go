@@ -132,6 +132,13 @@ type Server struct {
 	requeues  int            // skylint:guardedby mu — assignments requeued after a lapsed lease
 	perWorker map[string]int // skylint:guardedby mu — judgments submitted per worker id
 
+	// idem maps an Idempotency-Key to the round it created, so a client
+	// retrying a POST /api/rounds whose response was lost gets the
+	// original round back instead of a duplicate (and a duplicate bill).
+	// Persisted in snapshots: a replayed retry must survive a server
+	// restart too.
+	idem map[string]int64 // skylint:guardedby mu
+
 	// reapScratch is reused across reapExpiredLocked calls so the common
 	// nothing-expired poll never allocates.
 	reapScratch []*assignment // skylint:guardedby mu
@@ -146,6 +153,7 @@ type Server struct {
 	mJudgments    *telemetry.Counter
 	mRequeues     *telemetry.Counter
 	mWriteErrs    *telemetry.Counter
+	mIdemReplays  *telemetry.Counter
 	mLeaseWait    *telemetry.Histogram
 	mJudgeLatency *telemetry.Histogram
 	// trace receives the marketplace's spans (server rounds, lease waits,
@@ -167,6 +175,7 @@ func NewServer() *Server {
 		lease:     DefaultLease,
 		now:       time.Now,
 		perWorker: make(map[string]int),
+		idem:      make(map[string]int64),
 		reg:       telemetry.NewRegistry(),
 	}
 	s.httpm = telemetry.NewHTTPMetrics(s.reg, "crowdserve")
@@ -175,6 +184,7 @@ func NewServer() *Server {
 	s.mJudgments = s.reg.NewCounter("crowdserve_judgments_total", "Worker judgments accepted.")
 	s.mRequeues = s.reg.NewCounter("crowdserve_lease_requeues_total", "Assignments requeued after a lapsed lease.")
 	s.mWriteErrs = s.reg.NewCounter("crowdserve_response_write_errors_total", "Responses that failed to encode or send (client gone, broken pipe).")
+	s.mIdemReplays = s.reg.NewCounter("crowdserve_idempotent_replays_total", "Round submissions answered from the idempotency-key cache instead of creating a duplicate round.")
 	s.mLeaseWait = s.reg.NewHistogram("crowdserve_lease_wait_seconds",
 		"Queue wait from assignment enqueue to worker lease.", leaseBuckets...)
 	s.mJudgeLatency = s.reg.NewHistogram("crowdserve_judgment_latency_seconds",
@@ -255,8 +265,19 @@ func (s *Server) handlePostRound(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "round has no questions")
 		return
 	}
+	idemKey := r.Header.Get("Idempotency-Key")
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// A retried submission whose original attempt landed (but whose
+	// response was lost in transit) replays the original round: same id,
+	// same 201, zero new work posted — the client is never double-charged.
+	if idemKey != "" {
+		if id, ok := s.idem[idemKey]; ok {
+			s.mIdemReplays.Inc()
+			s.writeJSON(w, http.StatusCreated, map[string]int64{"round_id": id})
+			return
+		}
+	}
 	s.nextRoundID++
 	rd := &round{
 		id:        s.nextRoundID,
@@ -301,6 +322,9 @@ func (s *Server) handlePostRound(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.rounds[rd.id] = rd
+	if idemKey != "" {
+		s.idem[idemKey] = rd.id
+	}
 	s.mRounds.Inc()
 	s.mQuestions.Add(uint64(len(body.Questions)))
 	s.writeJSON(w, http.StatusCreated, map[string]int64{"round_id": rd.id})

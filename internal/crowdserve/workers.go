@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"crowdsky/internal/crowd"
+	"crowdsky/internal/faultinject"
 )
 
 // WorkerConfig configures a simulated worker fleet driven against a
@@ -27,6 +28,12 @@ type WorkerConfig struct {
 	PollInterval time.Duration
 	// Seed drives the fleet's randomness.
 	Seed int64
+	// Faults, when non-nil, makes workers misbehave on purpose: abandon
+	// fetched assignments (no-show), submit a judgment twice, or submit
+	// after the lease lapsed. The decision stream is drawn from each
+	// worker's own seeded RNG, so a fixed Seed reproduces the same
+	// misbehaviour schedule. The marketplace must absorb all of it.
+	Faults *faultinject.WorkerFaults
 }
 
 // SimulateWorkers runs a fleet of simulated workers against the
@@ -66,7 +73,29 @@ func SimulateWorkers(ctx context.Context, baseURL string, cfg WorkerConfig) {
 				}
 				truth := cfg.Truth.Answer(crowd.Question{A: job.A, B: job.B, Attr: job.Attr})
 				answer := worker.Judge(truth, rng)
-				submitAnswer(ctx, client, baseURL, name, job.AssignmentID, answer)
+				var fault faultinject.Kind
+				if cfg.Faults != nil {
+					fault = cfg.Faults.Next(rng)
+				}
+				switch fault {
+				case faultinject.KindWorkerNoShow:
+					// Walk away with the lease; the server must requeue the
+					// slot once it lapses.
+				case faultinject.KindWorkerDuplicate:
+					submitAnswer(ctx, client, baseURL, name, job.AssignmentID, answer)
+					submitAnswer(ctx, client, baseURL, name, job.AssignmentID, answer)
+				case faultinject.KindWorkerStale:
+					// Outlive the lease, then submit; the server must reject
+					// the late judgment (the slot belongs to someone else).
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(cfg.Faults.Delay()):
+					}
+					submitAnswer(ctx, client, baseURL, name, job.AssignmentID, answer)
+				default:
+					submitAnswer(ctx, client, baseURL, name, job.AssignmentID, answer)
+				}
 			}
 		}(w)
 	}

@@ -1,0 +1,226 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"crowdsky/internal/telemetry"
+)
+
+// TestPlanRandDeterministic: the same seed and point name must reproduce
+// the same stream, and distinct points must get independent streams.
+func TestPlanRandDeterministic(t *testing.T) {
+	draw := func(seed int64, point string, n int) []float64 {
+		rng := NewPlan(seed).Rand(point)
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = rng.Float64()
+		}
+		return out
+	}
+	a := draw(1, "transport", 8)
+	b := draw(1, "transport", 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed+point diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(1, "journal", 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct points produced identical streams")
+	}
+	d := draw(2, "transport", 8)
+	if a[0] == d[0] && a[1] == d[1] && a[2] == d[2] {
+		t.Fatal("distinct seeds produced identical streams")
+	}
+}
+
+// TestPlanCounts: Record tallies per kind and mirrors into the metric.
+func TestPlanCounts(t *testing.T) {
+	p := NewPlan(1)
+	reg := telemetry.NewRegistry()
+	p.InstrumentMetrics(reg)
+	p.Record(KindHTTP503)
+	p.Record(KindHTTP503)
+	p.Record(KindJournalTear)
+	if got := p.Counts()[KindHTTP503]; got != 2 {
+		t.Errorf("http_503 count = %d, want 2", got)
+	}
+	if p.Total() != 3 {
+		t.Errorf("total = %d, want 3", p.Total())
+	}
+	if kinds := p.Kinds(); len(kinds) != 2 || kinds[0] != KindHTTP503 || kinds[1] != KindJournalTear {
+		t.Errorf("kinds = %v", kinds)
+	}
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `crowdserve_faults_injected_total{kind="http_503"} 2`) {
+		t.Errorf("metric missing:\n%s", sb.String())
+	}
+}
+
+// TestTransportFaults drives every fault kind through a live test server
+// at probability 1 and checks the observable failure mode.
+func TestTransportFaults(t *testing.T) {
+	const body = `{"ok":true,"padding":"0123456789"}`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body) // skylint:ignore errdrop test handler
+	}))
+	defer ts.Close()
+
+	get := func(tr *Transport) (*http.Response, error) {
+		client := &http.Client{Transport: tr}
+		return client.Get(ts.URL)
+	}
+
+	t.Run("reset_before", func(t *testing.T) {
+		tr := &Transport{Plan: NewPlan(1), Config: TransportConfig{PResetBefore: 1}}
+		if _, err := get(tr); !errors.Is(err, ErrInjected) {
+			t.Fatalf("err = %v, want ErrInjected", err)
+		}
+		if tr.Plan.Counts()[KindConnResetBefore] != 1 {
+			t.Errorf("counts = %v", tr.Plan.Counts())
+		}
+	})
+	t.Run("reset_after", func(t *testing.T) {
+		tr := &Transport{Plan: NewPlan(1), Config: TransportConfig{PResetAfter: 1}}
+		if _, err := get(tr); !errors.Is(err, ErrInjected) {
+			t.Fatalf("err = %v, want ErrInjected", err)
+		}
+		if tr.Plan.Counts()[KindConnResetAfter] != 1 {
+			t.Errorf("counts = %v", tr.Plan.Counts())
+		}
+	})
+	t.Run("http_503", func(t *testing.T) {
+		tr := &Transport{Plan: NewPlan(1), Config: TransportConfig{P503: 1}}
+		resp, err := get(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d, want 503", resp.StatusCode)
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		tr := &Transport{Plan: NewPlan(1), Config: TransportConfig{PTruncate: 1}}
+		resp, err := get(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 || len(data) >= len(body) {
+			t.Fatalf("body = %d bytes, want a proper prefix of %d", len(data), len(body))
+		}
+	})
+	t.Run("latency", func(t *testing.T) {
+		tr := &Transport{Plan: NewPlan(1), Config: TransportConfig{PLatency: 1, MaxLatency: 10 * time.Millisecond}}
+		resp, err := get(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if tr.Plan.Counts()[KindLatency] != 1 {
+			t.Errorf("counts = %v", tr.Plan.Counts())
+		}
+	})
+	t.Run("clean", func(t *testing.T) {
+		tr := &Transport{Plan: NewPlan(1)}
+		resp, err := get(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if string(data) != body {
+			t.Fatalf("clean transport altered the body: %q", data)
+		}
+		if tr.Plan.Total() != 0 {
+			t.Errorf("clean transport injected faults: %v", tr.Plan.Counts())
+		}
+	})
+}
+
+// TestTornWriter: bytes past the cutoff vanish while writes keep
+// reporting success, and the tear is booked once.
+func TestTornWriter(t *testing.T) {
+	var buf bytes.Buffer
+	plan := NewPlan(1)
+	tw := &TornWriter{W: &buf, Cutoff: 10, Plan: plan}
+	if n, err := tw.Write([]byte("0123456")); err != nil || n != 7 {
+		t.Fatalf("first write = %d, %v", n, err)
+	}
+	if n, err := tw.Write([]byte("789abcdef")); err != nil || n != 9 {
+		t.Fatalf("torn write = %d, %v", n, err)
+	}
+	if n, err := tw.Write([]byte("dropped")); err != nil || n != 7 {
+		t.Fatalf("dropped write = %d, %v", n, err)
+	}
+	if buf.String() != "0123456789" {
+		t.Errorf("surviving prefix = %q, want first 10 bytes", buf.String())
+	}
+	if !tw.Torn() {
+		t.Error("Torn() = false after dropping bytes")
+	}
+	if plan.Counts()[KindJournalTear] != 1 {
+		t.Errorf("journal_tear booked %d times, want once", plan.Counts()[KindJournalTear])
+	}
+}
+
+// TestWorkerFaultsSchedule: the decision stream is deterministic for a
+// fixed rng seed and respects zero probabilities.
+func TestWorkerFaultsSchedule(t *testing.T) {
+	plan := NewPlan(1)
+	wf := &WorkerFaults{Plan: plan, PNoShow: 0.3, PDuplicate: 0.3, PStale: 0.3}
+	draw := func() []Kind {
+		rng := NewPlan(42).Rand("worker")
+		out := make([]Kind, 32)
+		for i := range out {
+			out[i] = wf.Next(rng)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	seen := map[Kind]bool{}
+	for _, k := range a {
+		seen[k] = true
+	}
+	for _, k := range []Kind{KindWorkerNoShow, KindWorkerDuplicate, KindWorkerStale} {
+		if !seen[k] {
+			t.Errorf("32 draws at p=0.3 never produced %q (seed-sensitive; adjust seed)", k)
+		}
+	}
+	quiet := &WorkerFaults{Plan: plan}
+	rng := NewPlan(7).Rand("worker")
+	for i := 0; i < 100; i++ {
+		if k := quiet.Next(rng); k != "" {
+			t.Fatalf("zero-probability faults injected %q", k)
+		}
+	}
+	if d := quiet.Delay(); d != 100*time.Millisecond {
+		t.Errorf("default delay = %v", d)
+	}
+}

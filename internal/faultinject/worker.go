@@ -1,0 +1,58 @@
+package faultinject
+
+import (
+	"math/rand"
+	"time"
+)
+
+// WorkerFaults configures misbehaving-worker injection for a simulated
+// fleet (crowdserve.SimulateWorkers): for each fetched assignment the
+// worker may go missing, answer twice, or answer after its lease lapsed.
+// Probabilities are evaluated in that order on the worker's own seeded
+// RNG, so a fixed fleet seed reproduces the same misbehaviour schedule.
+type WorkerFaults struct {
+	// Plan books the injected faults; required.
+	Plan *Plan
+	// PNoShow is the probability a fetched assignment is abandoned
+	// unanswered (the lease must lapse and the slot requeue).
+	PNoShow float64
+	// PDuplicate is the probability a judgment is submitted twice (the
+	// marketplace must count it once).
+	PDuplicate float64
+	// PStale is the probability the worker holds the assignment past its
+	// lease and submits late (the marketplace must reject it).
+	PStale float64
+	// StaleDelay is how long past the fetch a stale worker waits before
+	// submitting; set it beyond the server's lease. Defaults to 100ms.
+	StaleDelay time.Duration
+}
+
+// Next draws the fault decision for one fetched assignment from rng,
+// returning the injected kind or "" for a well-behaved delivery. Injected
+// kinds are booked on the plan.
+func (f *WorkerFaults) Next(rng *rand.Rand) Kind {
+	switch {
+	case f.draw(rng, f.PNoShow):
+		f.Plan.Record(KindWorkerNoShow)
+		return KindWorkerNoShow
+	case f.draw(rng, f.PDuplicate):
+		f.Plan.Record(KindWorkerDuplicate)
+		return KindWorkerDuplicate
+	case f.draw(rng, f.PStale):
+		f.Plan.Record(KindWorkerStale)
+		return KindWorkerStale
+	}
+	return ""
+}
+
+func (f *WorkerFaults) draw(rng *rand.Rand, p float64) bool {
+	return p > 0 && rng.Float64() < p
+}
+
+// Delay returns the stale-submission delay.
+func (f *WorkerFaults) Delay() time.Duration {
+	if f.StaleDelay > 0 {
+		return f.StaleDelay
+	}
+	return 100 * time.Millisecond
+}

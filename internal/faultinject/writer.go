@@ -1,0 +1,65 @@
+package faultinject
+
+import (
+	"io"
+	"sync"
+)
+
+// TornWriter simulates a crash mid-write: every byte up to Cutoff is
+// forwarded to W, everything after is silently dropped — exactly what a
+// process killed between write(2) and fsync leaves behind. Writes still
+// report full success, because a crashing process never observes its own
+// lost tail. Wrapping a journal writer with a TornWriter therefore
+// produces a journal with a torn trailing record, the input the
+// journal.Recover truncate-at-corruption path must handle.
+type TornWriter struct {
+	// W receives the surviving prefix.
+	W io.Writer
+	// Cutoff is the number of bytes that survive the crash.
+	Cutoff int64
+	// Plan, when non-nil, books one KindJournalTear the first time a
+	// write is torn or dropped.
+	Plan *Plan
+
+	mu      sync.Mutex
+	written int64 // skylint:guardedby mu — bytes offered so far, including dropped ones
+	torn    bool  // skylint:guardedby mu
+}
+
+// Write implements io.Writer.
+func (t *TornWriter) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	remain := t.Cutoff - t.written
+	t.written += int64(len(p))
+	switch {
+	case remain >= int64(len(p)):
+		return t.W.Write(p)
+	case remain > 0:
+		t.recordLocked()
+		if _, err := t.W.Write(p[:remain]); err != nil {
+			return 0, err
+		}
+	default:
+		t.recordLocked()
+	}
+	// The dropped suffix still reports success: the "crash" hides it.
+	return len(p), nil
+}
+
+// Torn reports whether any bytes have been dropped yet.
+func (t *TornWriter) Torn() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.torn
+}
+
+func (t *TornWriter) recordLocked() {
+	if t.torn {
+		return
+	}
+	t.torn = true
+	if t.Plan != nil {
+		t.Plan.Record(KindJournalTear)
+	}
+}

@@ -20,6 +20,11 @@ func FuzzRead(f *testing.F) {
 	f.Add("")
 	f.Add("{}\n{}\n")
 	f.Add("not json\n" + buf.String())
+	// Checksummed record with a flipped payload byte (sum mismatch).
+	f.Add(strings.Replace(buf.String(), `"a":1`, `"a":7`, 1))
+	// Truncated mid-record at various depths.
+	f.Add(buf.String()[:buf.Len()/2])
+	f.Add(buf.String()[:1])
 	f.Fuzz(func(t *testing.T, input string) {
 		entries, err := Read(strings.NewReader(input))
 		if err != nil {
@@ -46,6 +51,58 @@ func FuzzRead(f *testing.F) {
 		}
 		if len(back) != len(entries) {
 			t.Fatalf("round trip lost entries: %d vs %d", len(back), len(entries))
+		}
+	})
+}
+
+// FuzzRecover hardens truncate-at-corruption recovery: for arbitrary
+// bytes — including truncated and corrupted-record journals — Recover
+// must never error or panic, every record it keeps must be an intact
+// prefix record (the prefix re-reads cleanly under the strict reader),
+// and recovery must be a fixed point of its own intact prefix.
+func FuzzRecover(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Append(1, crowd.Request{Q: crowd.Question{A: 1, B: 2}, Workers: 3}, crowd.First)
+	_ = w.Append(1, crowd.Request{Q: crowd.Question{A: 2, B: 3}}, crowd.Equal)
+	_ = w.Append(2, crowd.Request{Q: crowd.Question{A: 4, B: 5}, Workers: 1}, crowd.Second)
+	clean := buf.String()
+	f.Add(clean)
+	for _, cut := range []int{1, len(clean) / 3, len(clean) / 2, len(clean) - 1} {
+		f.Add(clean[:cut]) // torn at assorted record boundaries and mid-record
+	}
+	f.Add(strings.Replace(clean, `"a":2`, `"a":9`, 1))                   // corrupted middle record (sum mismatch)
+	f.Add(strings.Replace(clean, `"pref":"first"`, `"pref":"FIRST"`, 1)) // corrupted first record
+	f.Add("garbage\n" + clean)                                           // leading junk
+	f.Add(clean[:len(clean)/2] + "junk\n" + clean[len(clean)/2:])        // junk splice mid-file
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		entries, st, err := Recover(strings.NewReader(input))
+		if err != nil {
+			t.Fatalf("Recover errored on in-memory input: %v", err)
+		}
+		if st.IntactBytes < 0 || st.IntactBytes > int64(len(input)) {
+			t.Fatalf("IntactBytes %d out of range [0,%d]", st.IntactBytes, len(input))
+		}
+		prefix := input[:st.IntactBytes]
+		// The intact prefix must satisfy the strict reader with the exact
+		// same records — recovery never keeps anything Read would reject.
+		strict, err := Read(strings.NewReader(prefix))
+		if err != nil {
+			t.Fatalf("strict read rejected recovered prefix: %v", err)
+		}
+		if len(strict) != len(entries) {
+			t.Fatalf("prefix re-read %d entries, Recover kept %d", len(strict), len(entries))
+		}
+		for i := range strict {
+			if strict[i] != entries[i] {
+				t.Fatalf("entry %d mismatch: %+v vs %+v", i, strict[i], entries[i])
+			}
+		}
+		// Recover is a fixed point on its own output.
+		again, st2, err := Recover(strings.NewReader(prefix))
+		if err != nil || len(again) != len(entries) || st2.Dropped != 0 || st2.IntactBytes != st.IntactBytes {
+			t.Fatalf("not a fixed point: %d entries, %+v, %v", len(again), st2, err)
 		}
 	})
 }

@@ -13,9 +13,11 @@ package journal
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"time"
 
@@ -32,6 +34,33 @@ type Entry struct {
 	Workers int       `json:"workers"`
 	Pref    string    `json:"pref"`
 	Time    time.Time `json:"time"`
+	// Sum is the CRC32 (IEEE) of the entry's JSON encoding with Sum
+	// itself empty, as eight lowercase hex digits. It detects bit rot and
+	// partially-flushed records that still happen to parse. Empty on
+	// records written before checksums existed; those are accepted as-is.
+	Sum string `json:"sum,omitempty"`
+}
+
+// checksum computes the entry's record checksum: the CRC32-IEEE of its
+// canonical JSON encoding with the Sum field cleared. e is a copy, so
+// clearing Sum here never mutates the caller's record.
+func checksum(e Entry) (string, error) {
+	e.Sum = ""
+	data, err := json.Marshal(e)
+	if err != nil {
+		return "", fmt.Errorf("journal: encoding entry for checksum: %w", err)
+	}
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(data)), nil
+}
+
+// verify reports whether the entry's stored checksum matches its content.
+// Legacy records with no checksum pass; they predate the Sum field.
+func verify(e Entry) bool {
+	if e.Sum == "" {
+		return true
+	}
+	sum, err := checksum(e)
+	return err == nil && sum == e.Sum
 }
 
 // Writer appends entries to an underlying stream, one JSON object per
@@ -59,6 +88,11 @@ func (jw *Writer) Append(round int, req crowd.Request, pref crowd.Preference) er
 		Pref:    pref.String(),
 		Time:    time.Now().UTC(),
 	}
+	sum, err := checksum(e)
+	if err != nil {
+		return err
+	}
+	e.Sum = sum
 	data, err := json.Marshal(e)
 	if err != nil {
 		return fmt.Errorf("journal: encoding entry: %w", err)
@@ -70,9 +104,11 @@ func (jw *Writer) Append(round int, req crowd.Request, pref crowd.Preference) er
 	return nil
 }
 
-// Read parses a journal stream. A truncated trailing line (a crash mid
-// write) is tolerated and ignored; malformed content anywhere else is an
-// error.
+// Read parses a journal stream. A truncated or checksum-corrupted
+// trailing line (a crash mid write) is tolerated and ignored; malformed
+// or corrupted content anywhere else is an error. Use Recover when the
+// journal may be damaged mid-file and salvaging the intact prefix is the
+// right call (e.g. the resume CLI after an unclean shutdown).
 func Read(r io.Reader) ([]Entry, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
@@ -94,9 +130,85 @@ func Read(r io.Reader) ([]Entry, error) {
 			}
 			return nil, fmt.Errorf("journal: line %d: %w", i+1, err)
 		}
+		if !verify(e) {
+			if i == len(lines)-1 {
+				break // corrupted final line after a crash
+			}
+			return nil, fmt.Errorf("journal: line %d: checksum mismatch", i+1)
+		}
 		out = append(out, e)
 	}
 	return out, nil
+}
+
+// RecoverStats describes what Recover salvaged.
+type RecoverStats struct {
+	// IntactBytes is the byte length of the verified journal prefix,
+	// including each surviving record's trailing newline. Truncating the
+	// journal file to this length yields a clean journal that can be
+	// appended to safely.
+	IntactBytes int64
+	// Dropped counts the non-empty lines abandoned at and after the first
+	// corruption — the torn record plus anything trailing it.
+	Dropped int
+}
+
+// Recover parses a possibly-damaged journal stream, salvaging the
+// longest intact prefix. Unlike Read, corruption — a record that fails
+// to parse, fails its checksum, or lacks its trailing newline — is not
+// an error: scanning stops at the first damaged record and everything
+// before it is returned. The only error is a genuine I/O failure.
+//
+// Callers resuming from a recovered journal should truncate the backing
+// file to IntactBytes before appending, so new records never concatenate
+// onto a torn tail.
+func Recover(r io.Reader) ([]Entry, RecoverStats, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, RecoverStats{}, fmt.Errorf("journal: %w", err)
+	}
+	var (
+		entries []Entry
+		st      RecoverStats
+	)
+	rest := data
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		complete := nl >= 0
+		var line []byte
+		var lineLen int64
+		if complete {
+			line, lineLen = rest[:nl], int64(nl+1)
+		} else {
+			// A record without its newline may still be mid-write even if
+			// it parses; treat it as torn so appends stay well-formed.
+			line, lineLen = rest, int64(len(rest))
+		}
+		if trimmed := bytes.TrimSpace(line); len(trimmed) == 0 {
+			st.IntactBytes += lineLen
+			rest = rest[lineLen:]
+			continue
+		}
+		var e Entry
+		if !complete || json.Unmarshal(line, &e) != nil || !verify(e) {
+			st.Dropped = countNonEmptyLines(rest)
+			break
+		}
+		entries = append(entries, e)
+		st.IntactBytes += lineLen
+		rest = rest[lineLen:]
+	}
+	return entries, st, nil
+}
+
+func countNonEmptyLines(data []byte) int {
+	n := 0
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // answersOf converts entries to crowd answers.

@@ -104,3 +104,54 @@ func emitLiterals(round int) {
 	sink(Event{Type: EventSpanStart, TraceID: "t", SpanID: "s", Name: "run"})
 	sink(Event{Type: EventSpanStart, Attrs: map[string]string{"k": "v"}}) // want `sets field "attrs"`
 }
+
+// --- metric half of the registry, mirroring telemetry.Registry ---
+
+// Counter, Histogram and Registry are structural stand-ins for the
+// telemetry package's metric types; the analyzer keys on a receiver named
+// Registry, not on the import path.
+type Counter struct{}
+
+type CounterVec struct{}
+
+type Histogram struct{}
+
+type HistogramVec struct{}
+
+type Registry struct{}
+
+func (*Registry) NewCounter(name, help string) *Counter { return &Counter{} }
+func (*Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{}
+}
+func (*Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	return &Histogram{}
+}
+func (*Registry) NewHistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{}
+}
+
+// MetricRequests is a named constant: constant names resolve through
+// consts just like event types.
+const MetricRequests = "fixture_requests_total"
+
+// skylint:metricschema
+var metricSchemas = map[string][]string{
+	MetricRequests:            {"route", "code"},
+	"fixture_rounds_total":    {},
+	"fixture_latency_seconds": {},
+}
+
+// registerMetrics exercises the Finish-phase registration-site check.
+func registerMetrics(reg *Registry, dynamicName string, dynamicLabels []string) {
+	reg.NewCounter("fixture_rounds_total", "rounds")
+	reg.NewCounterVec(MetricRequests, "requests", "route", "code")
+	reg.NewHistogram("fixture_latency_seconds", "latency", []float64{0.1, 1})
+	reg.NewCounter("fixture_mystery_total", "unregistered")                     // want `has no skylint:metricschema entry`
+	reg.NewCounterVec(MetricRequests, "requests", "code", "route")              // want `registered with labels \[code route\], but its schema says \[route code\]`
+	reg.NewCounterVec("fixture_rounds_total", "rounds", "shard")                // want `registered with labels \[shard\], but its schema says \[\]`
+	reg.NewHistogramVec("fixture_latency_seconds", "latency", nil, "route")     // want `registered with labels \[route\], but its schema says \[\]`
+	reg.NewCounter(dynamicName, "computed name: out of static scope")           // clean: runtime's job
+	reg.NewCounterVec(MetricRequests, "spread labels: skip", dynamicLabels...)  // clean: not statically known
+	reg.NewCounterVec(MetricRequests, "computed label: skip", dynamicName, "c") // clean: runtime's job
+}

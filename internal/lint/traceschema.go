@@ -42,10 +42,24 @@ import (
 //
 // The implicit fields — seq, time, type, tuple, a, b — are populated by
 // the event plumbing and allowed on any event.
+//
+// The analyzer covers the metrics vocabulary the same way: a
+//
+//	// skylint:metricschema
+//
+// annotated map in the declaring package lists every metric family name
+// and its label names, and every constant-named Registry.New{Counter,
+// CounterVec,Gauge,GaugeFunc,Histogram,HistogramVec} call anywhere in the
+// tree is checked at Finish time: the name must be registered and the
+// constant label arguments must match the schema exactly, order included.
+// Registration sites whose name or labels are computed (the
+// prefix-parameterised HTTP middleware) are out of scope for the static
+// pass; telemetry.ValidateMetric covers them at runtime.
 var TraceSchema = &analysis.Analyzer{
 	Name: "traceschema",
-	Doc: "telemetry events must match the skylint:eventschema registry: " +
-		"constructors and Event literals may only populate registered fields",
+	Doc: "telemetry events and metrics must match the skylint:eventschema / " +
+		"skylint:metricschema registries: constructors, Event literals, and " +
+		"Registry.New* calls may only use registered names, fields, and labels",
 	Run:    runTraceSchema,
 	Finish: finishTraceSchema,
 }
@@ -64,10 +78,27 @@ type traceSchemaFacts struct {
 	// registries maps the declaring package's import path to its schema.
 	registries map[string]*schemaRegistry
 	literals   []eventLiteral
+	// metricRegistries maps the declaring package's import path to its
+	// metric schema; metricSites holds every constant-named Registry.New*
+	// call for the Finish-phase join.
+	metricRegistries map[string]*metricRegistry
+	metricSites      []metricSite
 }
 
 type schemaRegistry struct {
 	schemas map[string]map[string]bool // event type value -> field set
+}
+
+type metricRegistry struct {
+	labels map[string][]string // metric family name -> label names, in order
+}
+
+type metricSite struct {
+	pass   *analysis.Pass
+	pos    token.Pos
+	regPkg string // import path of the Registry type's package
+	name   string // constant metric family name
+	labels []string
 }
 
 type eventLiteral struct {
@@ -80,28 +111,35 @@ type eventLiteral struct {
 
 func traceSchemaState(prog *analysis.Program) *traceSchemaFacts {
 	return prog.Fact("traceschema.registry", func() any {
-		return &traceSchemaFacts{registries: make(map[string]*schemaRegistry)}
+		return &traceSchemaFacts{
+			registries:       make(map[string]*schemaRegistry),
+			metricRegistries: make(map[string]*metricRegistry),
+		}
 	}).(*traceSchemaFacts)
 }
 
 func runTraceSchema(pass *analysis.Pass) error {
 	facts := traceSchemaState(pass.Program())
 
-	schemaVar := findEventSchemaVar(pass)
+	schemaVar := findMarkedSchemaVar(pass, "skylint:eventschema")
 	if schemaVar != nil {
 		checkDeclaringPackage(pass, facts, schemaVar)
 	}
+	if metricVar := findMarkedSchemaVar(pass, "skylint:metricschema"); metricVar != nil {
+		registerMetricSchema(pass, facts, metricVar)
+	}
 	collectEventLiterals(pass, facts)
+	collectMetricSites(pass, facts)
 	return nil
 }
 
-// findEventSchemaVar locates the package's `// skylint:eventschema`
-// annotated map literal, or nil when this package declares no registry.
-func findEventSchemaVar(pass *analysis.Pass) *ast.CompositeLit {
+// findMarkedSchemaVar locates the package's map literal annotated with the
+// given skylint marker, or nil when this package declares no such registry.
+func findMarkedSchemaVar(pass *analysis.Pass, marker string) *ast.CompositeLit {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			gd, ok := decl.(*ast.GenDecl)
-			if !ok || gd.Tok != token.VAR || !hasEventSchemaMarker(gd.Doc) {
+			if !ok || gd.Tok != token.VAR || !hasSchemaMarker(gd.Doc, marker) {
 				continue
 			}
 			for _, spec := range gd.Specs {
@@ -122,12 +160,12 @@ func findEventSchemaVar(pass *analysis.Pass) *ast.CompositeLit {
 	return nil
 }
 
-func hasEventSchemaMarker(doc *ast.CommentGroup) bool {
+func hasSchemaMarker(doc *ast.CommentGroup, marker string) bool {
 	if doc == nil {
 		return false
 	}
 	for _, c := range doc.List {
-		if strings.Contains(c.Text, "skylint:eventschema") {
+		if strings.Contains(c.Text, marker) {
 			return true
 		}
 	}
@@ -442,6 +480,98 @@ func collectLiteralsIn(pass *analysis.Pass, facts *traceSchemaFacts, root ast.No
 	})
 }
 
+// registerMetricSchema parses the skylint:metricschema map literal —
+// metric family name to ordered label names — and deposits it in the
+// program facts for the Finish-phase registration-site check.
+func registerMetricSchema(pass *analysis.Pass, facts *traceSchemaFacts, lit *ast.CompositeLit) {
+	labels := make(map[string][]string)
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		name := constStringValue(pass, kv.Key)
+		if name == "" {
+			pass.Reportf(kv.Key.Pos(),
+				"metric schema keys must be constant metric family names, not expressions")
+			continue
+		}
+		var ls []string
+		if vals, ok := kv.Value.(*ast.CompositeLit); ok {
+			for _, fe := range vals.Elts {
+				if lv := constStringValue(pass, fe); lv != "" {
+					ls = append(ls, lv)
+				}
+			}
+		}
+		labels[name] = ls
+	}
+	facts.metricRegistries[pass.PkgPath] = &metricRegistry{labels: labels}
+}
+
+// metricLabelStart maps each Registry constructor method to the argument
+// index where its variadic label names begin; -1 means unlabelled.
+var metricLabelStart = map[string]int{
+	"NewCounter":      -1,
+	"NewGauge":        -1,
+	"NewGaugeFunc":    -1,
+	"NewHistogram":    -1,
+	"NewCounterVec":   2, // (name, help, labels...)
+	"NewHistogramVec": 3, // (name, help, buckets, labels...)
+}
+
+// collectMetricSites records every Registry.New* call with a constant
+// metric name (and, for Vec variants, all-constant labels) for the
+// Finish-phase registry check. Computed names or spread label slices are
+// out of scope — runtime validation covers those.
+func collectMetricSites(pass *analysis.Pass, facts *traceSchemaFacts) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			labelStart, ok := metricLabelStart[sel.Sel.Name]
+			if !ok || len(call.Args) < 1 {
+				return true
+			}
+			recv := analysis.NamedOf(pass.TypeOf(sel.X))
+			if recv == nil || recv.Obj().Name() != "Registry" || recv.Obj().Pkg() == nil {
+				return true
+			}
+			name := constStringValue(pass, call.Args[0])
+			if name == "" {
+				return true // computed name (prefix+"..."): runtime's job
+			}
+			var labels []string
+			if labelStart >= 0 {
+				if call.Ellipsis != token.NoPos {
+					return true // labels spread from a slice: not statically known
+				}
+				for _, a := range call.Args[labelStart:] {
+					lv := constStringValue(pass, a)
+					if lv == "" {
+						return true // computed label: runtime's job
+					}
+					labels = append(labels, lv)
+				}
+			}
+			facts.metricSites = append(facts.metricSites, metricSite{
+				pass:   pass,
+				pos:    call.Pos(),
+				regPkg: recv.Obj().Pkg().Path(),
+				name:   name,
+				labels: labels,
+			})
+			return true
+		})
+	}
+}
+
 // finishTraceSchema joins collected literals against the registries once
 // every package has run, reporting through each literal's own pass so
 // skylint:ignore works at the literal site.
@@ -467,7 +597,37 @@ func finishTraceSchema(prog *analysis.Program) error {
 			}
 		}
 	}
+	for _, site := range facts.metricSites {
+		reg := facts.metricRegistries[site.regPkg]
+		if reg == nil {
+			continue // Registry type from a package with no metric registry
+		}
+		want, ok := reg.labels[site.name]
+		if !ok {
+			site.pass.Reportf(site.pos,
+				"metric %q has no skylint:metricschema entry in %s; register its name and labels before exposing it",
+				site.name, site.regPkg)
+			continue
+		}
+		if !equalStrings(site.labels, want) {
+			site.pass.Reportf(site.pos,
+				"metric %q is registered with labels %v, but its schema says %v (order included)",
+				site.name, site.labels, want)
+		}
+	}
 	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // constStringValue evaluates e to its constant string value, or ""

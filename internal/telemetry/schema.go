@@ -94,6 +94,87 @@ func ValidateEvent(e Event) error {
 	return nil
 }
 
+// metricSchemas maps every metric family this repository exposes to its
+// label names (empty slice = unlabelled). Like eventSchemas, this is the
+// single authoritative statement of the /metrics vocabulary: dashboards
+// and alerts key on these names and labels, so a registration site
+// drifting from the registry is a monitoring break even though the code
+// still compiles. The skylint traceschema analyzer proves every
+// constant-named Registry.New* call in the tree registers a name listed
+// here with exactly these labels; ValidateMetric gives tests and tooling
+// the same check at runtime. Metrics whose names are computed (the
+// prefix-parameterised HTTP middleware) are listed for documentation and
+// runtime validation but are invisible to the static pass.
+//
+// skylint:metricschema
+var metricSchemas = map[string][]string{
+	// Dominance-index lifecycle (InstrumentIndex).
+	MetricIndexBuilds:       {},
+	MetricIndexBuildSeconds: {},
+	MetricIndexBitmapBytes:  {},
+	// Crowd platform accounting (InstrumentPlatform).
+	MetricCrowdQuestions:    {},
+	MetricCrowdRounds:       {},
+	MetricCrowdWorkerUnits:  {},
+	MetricCrowdRoundLatency: {},
+	// HTTP middleware (prefix-parameterised; crowdserve's instances).
+	"crowdserve_http_requests_total":  {"route", "method", "code"},
+	"crowdserve_http_request_seconds": {"route"},
+	// Marketplace server (crowdserve.NewServer).
+	"crowdserve_rounds_total":                {},
+	"crowdserve_questions_total":             {},
+	"crowdserve_judgments_total":             {},
+	"crowdserve_lease_requeues_total":        {},
+	"crowdserve_response_write_errors_total": {},
+	"crowdserve_idempotent_replays_total":    {},
+	"crowdserve_lease_wait_seconds":          {},
+	"crowdserve_judgment_latency_seconds":    {},
+	"crowdserve_open_assignments":            {},
+	// Marketplace client resilience (Client.InstrumentMetrics).
+	"crowdserve_client_retries_total": {"cause"},
+	// Fault injection (faultinject.Plan.InstrumentMetrics).
+	"crowdserve_faults_injected_total": {"kind"},
+	// Journal recovery (cmd/bench -chaos, cmd/crowdsky -resume).
+	"journal_recovered_records_total": {},
+}
+
+// MetricSchemaOf returns the registered label names for metric family
+// name, and whether the family is registered at all.
+func MetricSchemaOf(name string) ([]string, bool) {
+	labels, ok := metricSchemas[name]
+	return labels, ok
+}
+
+// MetricNames returns every registered metric family, sorted, for
+// consumers that enumerate the /metrics vocabulary (docs, dashboards).
+func MetricNames() []string {
+	out := make([]string, 0, len(metricSchemas))
+	for name := range metricSchemas {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidateMetric checks one metric family against the registry: the name
+// must be registered and the label names must match the schema exactly
+// (order included — label order is part of a family's wire identity).
+func ValidateMetric(name string, labels ...string) error {
+	want, ok := metricSchemas[name]
+	if !ok {
+		return fmt.Errorf("telemetry: metric %q is not in the schema registry", name)
+	}
+	if len(labels) != len(want) {
+		return fmt.Errorf("telemetry: metric %q has labels %v, schema says %v", name, labels, want)
+	}
+	for i, l := range labels {
+		if l != want[i] {
+			return fmt.Errorf("telemetry: metric %q has labels %v, schema says %v", name, labels, want)
+		}
+	}
+	return nil
+}
+
 // jsonName extracts the wire name from a struct field's json tag.
 func jsonName(f reflect.StructField) string {
 	tag := f.Tag.Get("json")

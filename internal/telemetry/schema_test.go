@@ -52,6 +52,59 @@ func TestEveryEventTypeHasSchema(t *testing.T) {
 	}
 }
 
+// TestValidateMetric exercises the metric half of the registry: every
+// metric family a live process actually registers must validate, and
+// unknown names or drifted labels must not.
+func TestValidateMetric(t *testing.T) {
+	ok := [][]any{
+		{MetricIndexBuilds},
+		{MetricCrowdRoundLatency},
+		{"crowdserve_rounds_total"},
+		{"crowdserve_client_retries_total", "cause"},
+		{"crowdserve_faults_injected_total", "kind"},
+		{"crowdserve_http_requests_total", "route", "method", "code"},
+		{"journal_recovered_records_total"},
+	}
+	for _, c := range ok {
+		name := c[0].(string)
+		labels := make([]string, 0, len(c)-1)
+		for _, l := range c[1:] {
+			labels = append(labels, l.(string))
+		}
+		if err := ValidateMetric(name, labels...); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if err := ValidateMetric("mystery_total"); err == nil {
+		t.Error("unknown metric must not validate")
+	}
+	if err := ValidateMetric("crowdserve_client_retries_total"); err == nil {
+		t.Error("missing label must not validate")
+	}
+	if err := ValidateMetric("crowdserve_client_retries_total", "kind"); err == nil {
+		t.Error("wrong label name must not validate")
+	}
+	if err := ValidateMetric("crowdserve_http_requests_total", "method", "route", "code"); err == nil {
+		t.Error("label order is part of the schema; reordering must not validate")
+	}
+}
+
+// TestMetricNamesSorted pins the enumeration contract.
+func TestMetricNamesSorted(t *testing.T) {
+	names := MetricNames()
+	if len(names) != len(metricSchemas) {
+		t.Fatalf("MetricNames returned %d families, registry has %d", len(names), len(metricSchemas))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted at %d: %q >= %q", i, names[i-1], names[i])
+		}
+	}
+	if labels, ok := MetricSchemaOf("crowdserve_faults_injected_total"); !ok || len(labels) != 1 || labels[0] != "kind" {
+		t.Errorf("MetricSchemaOf(faults) = %v, %v", labels, ok)
+	}
+}
+
 func TestValidateEventRejects(t *testing.T) {
 	// skylint:ignore traceschema intentionally unregistered type for the negative test
 	if err := ValidateEvent(Event{Type: "mystery"}); err == nil {
