@@ -34,6 +34,7 @@ import (
 	"testing"
 	"time"
 
+	"crowdsky/internal/core"
 	"crowdsky/internal/dataset"
 	"crowdsky/internal/skyline"
 )
@@ -69,11 +70,70 @@ type op struct {
 
 func ops() []op {
 	return []op{
+		// index_build is pinned to one worker so the row measures the
+		// serial kernel across reports regardless of the host's core
+		// count; index_build_parallel (below, per -cores) is the
+		// multi-core row, and serial÷parallel at equal n is the speedup.
 		{"index_build", func(d *dataset.Dataset) func(*testing.B) {
 			return func(b *testing.B) {
+				defer skyline.SetMaxWorkers(skyline.SetMaxWorkers(1))
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					skyline.NewIndex(d)
+				}
+			}
+		}},
+		// index_add measures resurrecting one tuple into a warm dynamic
+		// index. The paired Remove that makes the Add legal runs with the
+		// timer stopped, so ns/op is the Add alone (wall clock per
+		// iteration is higher; the reported number is correct).
+		{"index_add", func(d *dataset.Dataset) func(*testing.B) {
+			return func(b *testing.B) {
+				ix := skyline.NewIndex(d)
+				ix.Remove(0)
+				ix.Add(0) // convert + warm before the clock starts
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					t := i % d.N()
+					ix.Remove(t)
+					b.StartTimer()
+					ix.Add(t)
+				}
+			}
+		}},
+		// index_remove mirrors index_add with the roles swapped.
+		{"index_remove", func(d *dataset.Dataset) func(*testing.B) {
+			return func(b *testing.B) {
+				ix := skyline.NewIndex(d)
+				ix.Remove(0)
+				ix.Add(0)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					t := i % d.N()
+					b.StartTimer()
+					ix.Remove(t)
+					b.StopTimer()
+					ix.Add(t)
+					b.StartTimer()
+				}
+			}
+		}},
+		// steady_state_round is one serving round of the session layer
+		// (answer folding, completeness checks, request regeneration) via
+		// the same core.RoundBench harness the zero-alloc gate holds at
+		// 0 allocs/op.
+		{"steady_state_round", func(d *dataset.Dataset) func(*testing.B) {
+			return func(b *testing.B) {
+				rb := core.NewRoundBench(d, core.AllPruning(), 64)
+				defer rb.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rb.Round()
 				}
 			}
 		}},
@@ -130,6 +190,32 @@ func ops() []op {
 	}
 }
 
+// parallelOps returns one index_build_parallel op per requested worker
+// count. The default (cores = [0]) is a single row at all cores, named
+// plainly so reports from different machines keep comparable keys; an
+// explicit -cores list names each row with its count, which is how the
+// speedup curve in docs/PERFORMANCE.md is produced.
+func parallelOps(cores []int) []op {
+	var out []op
+	for _, c := range cores {
+		c := c
+		name := "index_build_parallel"
+		if c > 0 {
+			name = fmt.Sprintf("index_build_parallel@%d", c)
+		}
+		out = append(out, op{name, func(d *dataset.Dataset) func(*testing.B) {
+			return func(b *testing.B) {
+				defer skyline.SetMaxWorkers(skyline.SetMaxWorkers(c))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					skyline.NewIndex(d)
+				}
+			}
+		}})
+	}
+	return out
+}
+
 func parseSizes(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
@@ -142,6 +228,22 @@ func parseSizes(s string) ([]int, error) {
 	return out, nil
 }
 
+// parseCores parses the -cores flag: empty means one all-cores row.
+func parseCores(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return []int{0}, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || c <= 0 {
+			return nil, fmt.Errorf("bad core count %q", part)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
 func main() {
 	var (
 		outPath   = flag.String("out", "BENCH_PR4.json", "output file, or - for stdout")
@@ -149,6 +251,7 @@ func main() {
 		quick     = flag.Bool("quick", false, "smoke mode: n=1000 only (overrides -sizes)")
 		seed      = flag.Int64("seed", 1, "dataset generator seed")
 		baseCmp   = flag.String("compare", "", "baseline BENCH_*.json: print a Markdown ns/op comparison and flag >10% regressions (never fails the run)")
+		coresCS   = flag.String("cores", "", "comma-separated worker counts for index_build_parallel rows (e.g. 1,2,4,8); empty = one row at all cores")
 		chaos     = flag.Bool("chaos", false, "run the fault-injection resilience session instead of benchmarks; exits non-zero on any invariant violation")
 		chaosSeed = flag.Int64("chaos-seed", 1234, "fault plan seed for -chaos (same seed, same fault schedule)")
 		chaosDir  = flag.String("chaos-dir", "chaos-artifacts", "directory for -chaos failure artifacts (journals, server trace)")
@@ -167,6 +270,12 @@ func main() {
 	if *quick {
 		sizes = []int{1000}
 	}
+	cores, err := parseCores(*coresCS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(2)
+	}
+	allOps := append(ops(), parallelOps(cores)...)
 
 	rep := report{
 		Schema:    "crowdsky-bench/1",
@@ -183,7 +292,7 @@ func main() {
 		d := dataset.MustGenerate(dataset.GenerateConfig{
 			N: n, KnownDims: 4, CrowdDims: 2, Distribution: dataset.Independent,
 		}, rand.New(rand.NewSource(*seed)))
-		for _, o := range ops() {
+		for _, o := range allOps {
 			start := time.Now()
 			r := testing.Benchmark(o.bench(d))
 			rep.Results = append(rep.Results, result{

@@ -32,6 +32,17 @@ func (s Set) Or(t Set) {
 	}
 }
 
+// OrPlus sets s to the union s | t with element i added, in a single
+// word pass. It fuses the Add(i)+Or(t) sequence of the closure
+// propagation hot paths (package prefgraph) so the row is touched once.
+// t must not exceed s's capacity and i must be within it.
+func (s Set) OrPlus(t Set, i int) {
+	for w, v := range t {
+		s[w] |= v
+	}
+	s[i>>6] |= 1 << (uint(i) & 63)
+}
+
 // OrChanged is like Or but reports whether s changed.
 func (s Set) OrChanged(t Set) bool {
 	changed := false
@@ -136,4 +147,21 @@ func (s Set) ForEach(fn func(i int)) {
 func (s Set) Members(dst []int) []int {
 	s.ForEach(func(i int) { dst = append(dst, i) })
 	return dst
+}
+
+// Carve returns count independent n-bit Sets carved from one backing
+// allocation: two heap objects instead of count+1. Structures that hold
+// one set per element — the preference-graph closures, the dominance
+// bitmap rows — pay O(1) allocations for their whole lifetime this way,
+// and the rows land adjacent in memory in index order, which is the
+// order the word-scan kernels walk them. Each carved set has full
+// capacity (appending to one cannot spill into its neighbor).
+func Carve(count, n int) []Set {
+	words := (n + 63) / 64
+	backing := make([]uint64, count*words)
+	sets := make([]Set, count)
+	for i := range sets {
+		sets[i] = Set(backing[i*words : (i+1)*words : (i+1)*words])
+	}
+	return sets
 }

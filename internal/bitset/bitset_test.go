@@ -81,6 +81,64 @@ func TestSetAlgebra(t *testing.T) {
 	}
 }
 
+func TestOrPlus(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		const n = 300
+		s, u, ref := New(n), New(n), New(n)
+		for k := 0; k < 40; k++ {
+			s.Add(rng.Intn(n))
+			u.Add(rng.Intn(n))
+		}
+		i := rng.Intn(n)
+		copy(ref, s)
+		ref.Or(u)
+		ref.Add(i)
+		s.OrPlus(u, i)
+		if !s.Equal(ref) {
+			t.Fatalf("trial %d: OrPlus differs from Add+Or", trial)
+		}
+	}
+	// Shorter operand: only the common prefix is unioned, like Or.
+	s, u := New(200), New(64)
+	u.Add(5)
+	s.OrPlus(u, 199)
+	if !s.Has(5) || !s.Has(199) || s.Count() != 2 {
+		t.Fatalf("OrPlus with short operand: %v", s.Members(nil))
+	}
+}
+
+func TestCarve(t *testing.T) {
+	sets := Carve(5, 130)
+	if len(sets) != 5 {
+		t.Fatalf("Carve returned %d sets", len(sets))
+	}
+	for i, s := range sets {
+		if len(s) != len(New(130)) {
+			t.Fatalf("set %d has %d words, want %d", i, len(s), len(New(130)))
+		}
+		s.Add(i)
+		s.Add(129)
+	}
+	for i, s := range sets {
+		if s.Count() != 2 || !s.Has(i) || !s.Has(129) {
+			t.Fatalf("set %d leaked bits from a neighbor: %v", i, s.Members(nil))
+		}
+	}
+	// Appending to a carved set must not clobber its neighbor.
+	grown := append(sets[0], ^uint64(0))
+	_ = grown
+	if sets[1].Count() != 2 {
+		t.Fatalf("append to carved set spilled into neighbor")
+	}
+	if got := Carve(0, 10); len(got) != 0 {
+		t.Fatalf("Carve(0, n) = %v", got)
+	}
+	if got := Carve(3, 0); len(got) != 3 || len(got[0]) != 0 {
+		t.Fatalf("Carve(n, 0) wrong shape")
+	}
+}
+
 // TestAgainstMapModel drives random operations against a map-based model.
 func TestAgainstMapModel(t *testing.T) {
 	prop := func(seed int64) bool {

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"crowdsky/internal/crowd"
+	"crowdsky/internal/dataset"
+)
+
+// RoundBench drives the session's per-round serving step in a steady
+// state, as one reusable harness shared by the zero-alloc gate
+// (TestZeroAlloc) and the cmd/bench steady_state_round op — so the two
+// measure the identical code path. One Round is the inner loop of every
+// crowd-enabled algorithm: fold a batch of answers into the preference
+// graphs and the direct-answer record, re-check pair completeness, and
+// regenerate the outstanding requests into a reused buffer.
+//
+// The harness asks a perfect crowd once, up front, for a fixed batch of
+// dominating-set pairs; Round then replays those answers. After the
+// warm-up round every insertion takes the already-known fast path, every
+// map write hits an existing slot, and the request buffer has reached
+// its high-water mark: a steady-state Round performs zero allocations.
+type RoundBench struct {
+	ss      *session
+	pairs   []pair
+	answers []crowd.Answer
+	reqs    []crowd.Request
+}
+
+// NewRoundBench builds the session (index included) over d, selects up
+// to maxPairs dominating-set pairs, obtains their ground-truth answers
+// from a perfect platform, and runs the warm-up round. A non-positive
+// maxPairs defaults to 64.
+func NewRoundBench(d *dataset.Dataset, opts Options, maxPairs int) *RoundBench {
+	if maxPairs <= 0 {
+		maxPairs = 64
+	}
+	pf := crowd.NewPerfect(crowd.DatasetTruth{Data: d})
+	ss := newSession(d, pf, opts)
+	sets := ss.prepMachine()
+	rb := &RoundBench{ss: ss}
+	for t, ds := range sets {
+		for _, s := range ds {
+			rb.pairs = append(rb.pairs, makePair(s, t))
+			if len(rb.pairs) == maxPairs {
+				break
+			}
+		}
+		if len(rb.pairs) == maxPairs {
+			break
+		}
+	}
+	var reqs []crowd.Request
+	for _, p := range rb.pairs {
+		for j := 0; j < d.CrowdDims(); j++ {
+			reqs = append(reqs, crowd.Request{Q: crowd.Question{A: p.a(), B: p.b(), Attr: j}, Workers: 1})
+		}
+	}
+	rb.answers = pf.Ask(reqs)
+	rb.Round() // warm up: map inserts, graph propagation, buffer growth
+	return rb
+}
+
+// Pairs returns the number of pairs a Round serves.
+func (rb *RoundBench) Pairs() int { return len(rb.pairs) }
+
+// Round executes one serving round over the fixed batch and returns the
+// number of pairs still unknown afterwards (zero once warm — the batch's
+// answers have all been folded in). Allocation-free in the steady state.
+func (rb *RoundBench) Round() int {
+	ss := rb.ss
+	ss.apply(rb.answers)
+	rb.reqs = rb.reqs[:0]
+	unknown := 0
+	for _, p := range rb.pairs {
+		if !ss.pairKnown(p.a(), p.b()) {
+			unknown++
+			rb.reqs = ss.unknownAttrs(p.a(), p.b(), 0, rb.reqs)
+		}
+	}
+	return unknown
+}
+
+// Close releases the session's pooled resources.
+func (rb *RoundBench) Close() { rb.ss.release() }

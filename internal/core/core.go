@@ -24,6 +24,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"crowdsky/internal/crowd"
@@ -191,6 +192,25 @@ type session struct {
 // (A < B).
 type directKey struct{ a, b, attr int }
 
+// directPool recycles direct-answer maps across sessions. A run's map
+// grows to one entry per asked question; serving many runs over the same
+// deployment (the experiment sweeps, the crowdserve loop) would otherwise
+// reallocate and regrow that table per run. Maps enter the pool cleared.
+var directPool = sync.Pool{
+	New: func() any { return make(map[directKey]crowd.Preference, 256) },
+}
+
+// release returns the session's pooled resources; call it once the
+// session will answer no further queries. Reads after release degrade
+// gracefully (a nil map reads as empty) but are a bug.
+func (ss *session) release() {
+	if ss.direct != nil {
+		clear(ss.direct)
+		directPool.Put(ss.direct)
+		ss.direct = nil
+	}
+}
+
 func newSession(d *dataset.Dataset, pf crowd.Platform, opts Options) *session {
 	policy := opts.Voting
 	if policy == nil {
@@ -210,7 +230,7 @@ func newSession(d *dataset.Dataset, pf crowd.Platform, opts Options) *session {
 		trace:        opts.Tracer,
 		ctx:          ctx,
 		sharedIx:     opts.Index,
-		direct:       make(map[directKey]crowd.Preference),
+		direct:       directPool.Get().(map[directKey]crowd.Preference),
 		alive:        make([]bool, d.N()),
 		twin:         make([]int, d.N()),
 	}
@@ -774,7 +794,9 @@ func (ss *session) prepMachine() [][]int {
 // presizeDirect rebuilds the direct-answer map with room for the
 // estimated question volume, so the apply hot path does not rehash as
 // answers accumulate. The few entries recorded by the degenerate-case
-// preprocessing are carried over.
+// preprocessing are carried over; the undersized map goes back to the
+// pool (its buckets stay at whatever size they grew to, so a recycled
+// map often makes this rebuild a no-op for the next run).
 func (ss *session) presizeDirect() {
 	if ss.progressTotal <= len(ss.direct) {
 		return
@@ -783,5 +805,7 @@ func (ss *session) presizeDirect() {
 	for k, v := range ss.direct {
 		m[k] = v
 	}
+	clear(ss.direct)
+	directPool.Put(ss.direct)
 	ss.direct = m
 }

@@ -294,3 +294,49 @@ func TestMultiCrowdAttrQuestionCounting(t *testing.T) {
 		t.Errorf("multi-attr skyline mismatch")
 	}
 }
+
+// TestSharedIndexVersionAware pins the Options.Index adoption contract:
+// a shared index is adopted only while it actually covers the dataset.
+// Mutating it (Index.Remove) must make prepMachine fall back to its own
+// build, and restoring it (Index.Add) makes it adoptable again — the
+// staleness is detected through Matches, not assumed from construction.
+func TestSharedIndexVersionAware(t *testing.T) {
+	d := randomDataset(8, 80, 3, 1, dataset.Independent)
+	ix := skyline.NewIndex(d)
+
+	ss := newSession(d, perfect(d), Options{P2: true, Index: ix})
+	ss.prepMachine()
+	if ss.ix != ix {
+		t.Fatalf("fresh shared index was not adopted")
+	}
+
+	ix.Remove(3)
+	ss2 := newSession(d, perfect(d), Options{P2: true, Index: ix})
+	ss2.prepMachine()
+	if ss2.ix == ix {
+		t.Fatalf("mutated shared index was silently adopted")
+	}
+
+	ix.Add(3)
+	ss3 := newSession(d, perfect(d), Options{P2: true, Index: ix})
+	ss3.prepMachine()
+	if ss3.ix != ix {
+		t.Fatalf("restored shared index was not adopted again")
+	}
+
+	// End to end: a run handed a drifted index must still return the
+	// ground-truth skyline, because it rebuilds rather than reuses.
+	ix.Remove(5)
+	want := skyline.OracleSkyline(d)
+	opts := AllPruning()
+	opts.Index = ix
+	got := CrowdSky(d, perfect(d), opts)
+	if len(got.Skyline) != len(want) {
+		t.Fatalf("skyline with drifted shared index: got %v, want %v", got.Skyline, want)
+	}
+	for i := range want {
+		if got.Skyline[i] != want[i] {
+			t.Fatalf("skyline with drifted shared index: got %v, want %v", got.Skyline, want)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 // the voting policy in opts.
 func CrowdSky(d *dataset.Dataset, pf crowd.Platform, opts Options) *Result {
 	ss := newSession(d, pf, opts)
+	defer ss.release()
 	ss.emitRunStart("crowdsky")
 	ss.preprocessDegenerate()
 	sets := ss.prepMachine()

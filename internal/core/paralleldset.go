@@ -20,6 +20,7 @@ import (
 // same pruning options; only their arrangement into rounds differs.
 func ParallelDSet(d *dataset.Dataset, pf crowd.Platform, opts Options) *Result {
 	ss := newSession(d, pf, opts)
+	defer ss.release()
 	ss.emitRunStart("parallel-dset")
 	ss.preprocessDegenerate()
 	sets := ss.prepMachine()

@@ -20,6 +20,7 @@ import (
 // the paper measures the overhead at roughly 10%.
 func ParallelSL(d *dataset.Dataset, pf crowd.Platform, opts Options) *Result {
 	ss := newSession(d, pf, opts)
+	defer ss.release()
 	ss.emitRunStart("parallel-sl")
 	ss.preprocessDegenerate()
 	sets := ss.prepMachine()

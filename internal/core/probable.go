@@ -41,6 +41,7 @@ type ProbabilisticResult struct {
 // to the exact skyline indicator.
 func CrowdSkyProbabilistic(d *dataset.Dataset, pf crowd.Platform, opts Options) *ProbabilisticResult {
 	ss := newSession(d, pf, opts)
+	defer ss.release()
 	ss.emitRunStart("crowdsky-probabilistic")
 	ss.preprocessDegenerate()
 	sets := ss.prepMachine()

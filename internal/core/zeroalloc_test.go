@@ -36,3 +36,18 @@ func TestZeroAlloc(t *testing.T) {
 		t.Fatalf("session step allocated %.2f times per run; want 0", avg)
 	}
 }
+
+// TestZeroAllocSteadyStateRound gates the full serving round: the same
+// RoundBench harness the bench op measures must not allocate once warm —
+// answer folding, completeness checks, and request regeneration included.
+func TestZeroAllocSteadyStateRound(t *testing.T) {
+	d := randomDataset(6, 128, 3, 2, dataset.Independent)
+	rb := NewRoundBench(d, AllPruning(), 48)
+	defer rb.Close()
+	if unknown := rb.Round(); unknown != 0 {
+		t.Fatalf("warm round left %d pairs unknown", unknown)
+	}
+	if avg := testing.AllocsPerRun(100, func() { rb.Round() }); avg != 0 {
+		t.Fatalf("steady-state round allocated %.2f times per run; want 0", avg)
+	}
+}

@@ -75,21 +75,40 @@ type Graph struct {
 	contradictions int // dropped answers that conflicted with T
 }
 
-// New creates an empty preference graph over nodes 0..n-1.
+// New creates an empty preference graph over nodes 0..n-1. The 2n
+// closure rows are carved from a single arena (and parent/rank share one
+// backing array), so a graph costs O(1) allocations however many nodes
+// it has, and rows sit adjacent in the order the propagation loops walk
+// them.
 func New(n int) *Graph {
+	pr := make([]int, 2*n)
+	rows := bitset.Carve(2*n, n)
 	g := &Graph{
 		n:       n,
-		parent:  make([]int, n),
-		rank:    make([]int, n),
-		reach:   make([]bitset.Set, n),
-		coreach: make([]bitset.Set, n),
+		parent:  pr[:n:n],
+		rank:    pr[n:],
+		reach:   rows[:n],
+		coreach: rows[n:],
 	}
 	for i := 0; i < n; i++ {
 		g.parent[i] = i
-		g.reach[i] = bitset.New(n)
-		g.coreach[i] = bitset.New(n)
 	}
 	return g
+}
+
+// Reset returns the graph to its freshly-built empty state without
+// releasing the arena: every closure row is zeroed and every node is its
+// own class again. Sessions that serve rounds against a fixed dataset
+// reuse one graph per crowd attribute this way instead of reallocating
+// 2n bit rows per run.
+func (g *Graph) Reset() {
+	for i := 0; i < g.n; i++ {
+		g.parent[i] = i
+		g.rank[i] = 0
+		g.reach[i].Clear()
+		g.coreach[i].Clear()
+	}
+	g.edges, g.unions, g.contradictions = 0, 0, 0
 }
 
 // N returns the number of nodes.
@@ -186,21 +205,25 @@ func (g *Graph) AddPrefer(s, t int) bool {
 	return true
 }
 
-// extendDown makes v and its descendants (down) reachable from a.
+// extendDown makes v and its descendants (down) reachable from a: one
+// fused word pass over the row instead of Add-then-Or touching it twice.
+//
+//skylint:hotpath
 func (g *Graph) extendDown(a, v int, down bitset.Set) {
 	r := g.reach[a]
 	if !r.Has(v) {
-		r.Add(v)
-		r.Or(down)
+		r.OrPlus(down, v)
 	}
 }
 
-// extendUp makes u and its ancestors (up) co-reachable from d.
+// extendUp makes u and its ancestors (up) co-reachable from d, fused
+// like extendDown.
+//
+//skylint:hotpath
 func (g *Graph) extendUp(d, u int, up bitset.Set) {
 	c := g.coreach[d]
 	if !c.Has(u) {
-		c.Add(u)
-		c.Or(up)
+		c.OrPlus(up, u)
 	}
 }
 
@@ -245,18 +268,14 @@ func (g *Graph) AddEqual(s, t int) bool {
 		for w != 0 {
 			a := wi<<6 + bits.TrailingZeros64(w)
 			w &= w - 1
-			ra := g.reach[a]
-			ra.Add(r)
-			ra.Or(g.reach[r])
+			g.reach[a].OrPlus(g.reach[r], r)
 		}
 	}
 	for wi, w := range g.reach[r] {
 		for w != 0 {
 			d := wi<<6 + bits.TrailingZeros64(w)
 			w &= w - 1
-			cd := g.coreach[d]
-			cd.Add(r)
-			cd.Or(g.coreach[r])
+			g.coreach[d].OrPlus(g.coreach[r], r)
 		}
 	}
 	return true

@@ -249,3 +249,55 @@ func TestRelationString(t *testing.T) {
 		t.Errorf("out-of-range relation name")
 	}
 }
+
+// TestReset proves a Reset graph is indistinguishable from a fresh one:
+// same empty state, and the same answers after replaying a different
+// insertion sequence into both.
+func TestReset(t *testing.T) {
+	const n = 40
+	rng := rand.New(rand.NewSource(9))
+	reused := New(n)
+	for step := 0; step < 200; step++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if rng.Intn(4) == 0 {
+			reused.AddEqual(a, b)
+		} else {
+			reused.AddPrefer(a, b)
+		}
+	}
+	reused.Reset()
+	if reused.Edges() != 0 || reused.Unions() != 0 || reused.Contradictions() != 0 {
+		t.Fatalf("Reset left counters: %d edges, %d unions, %d contradictions",
+			reused.Edges(), reused.Unions(), reused.Contradictions())
+	}
+	fresh := New(n)
+	for step := 0; step < 200; step++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		var okR, okF bool
+		if rng.Intn(4) == 0 {
+			okR, okF = reused.AddEqual(a, b), fresh.AddEqual(a, b)
+		} else {
+			okR, okF = reused.AddPrefer(a, b), fresh.AddPrefer(a, b)
+		}
+		if okR != okF {
+			t.Fatalf("step %d: reset graph accepted=%v, fresh graph accepted=%v", step, okR, okF)
+		}
+	}
+	for s := 0; s < n; s++ {
+		for u := 0; u < n; u++ {
+			if reused.Known(s, u) != fresh.Known(s, u) {
+				t.Fatalf("Known(%d,%d) differs between reset and fresh graph", s, u)
+			}
+		}
+	}
+	if reused.Edges() != fresh.Edges() || reused.Unions() != fresh.Unions() ||
+		reused.Contradictions() != fresh.Contradictions() {
+		t.Fatalf("counters differ between reset and fresh graph")
+	}
+}

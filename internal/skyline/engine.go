@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"crowdsky/internal/bitset"
@@ -68,20 +69,27 @@ type IndexStats struct {
 	BuildDuration time.Duration
 }
 
-// Index is a one-shot dominance index over the known attributes of a
-// dataset (optionally restricted to a subset of alive tuples). Build it
-// once per run with NewIndex/NewIndexAlive and derive every machine-part
+// Index is a dominance index over the known attributes of a dataset
+// (optionally restricted to a subset of alive tuples). Build it once per
+// run with NewIndex/NewIndexAlive and derive every machine-part
 // construction from it; the derivations never re-run a pair-wise
-// dominance test. An Index is immutable after construction and safe for
-// concurrent readers; the slices returned by DominatingSets and
-// ImmediateDominators are shared and must not be modified.
+// dominance test. After construction an Index is safe for concurrent
+// readers; the slices returned by DominatingSets and ImmediateDominators
+// are shared and must not be modified.
+//
+// An Index is also a live structure: Add and Remove (dynamic.go) toggle
+// tuples in and out of the indexed set in O(n·dims) compare work and
+// O(n/64) words of bitmap updates per dimension, instead of a rebuild.
+// Mutations require exclusive access (no concurrent readers during an
+// Add/Remove) and bump a generation counter that lazily invalidates the
+// memoized derivations.
 type Index struct {
 	d    *dataset.Dataset
 	n    int // d.N()
-	m    int // indexed (alive) tuples
+	m    int // laid-out positions (alive tuples at build; all n once dynamic)
 	dims int
 
-	alive []bool // nil when unrestricted
+	alive []bool // nil when unrestricted; nil in dynamic mode (see dyn)
 
 	order    []int     // position -> original tuple index
 	pos      []int     // original tuple index -> position; -1 when dead
@@ -89,16 +97,41 @@ type Index struct {
 	runStart []int     // per position: start of its equal-score run
 	runEnd   []int     // per position: end (exclusive) of its equal-score run
 
+	// attrOrder[j] holds the positions in ascending order of attribute j
+	// (ties arbitrary but deterministic). The build derives the chunk
+	// prefix tables and target ranks from it; it is retained because the
+	// duplicate bookkeeping of the dynamic path shares its equal-value
+	// grouping.
+	attrOrder [][]int32
+
+	// dupOf[p] is the exact-duplicate group of position p (-1 when its
+	// known row is unique); dupGroups lists each group's member
+	// positions. The relation depends only on attribute values, never on
+	// aliveness, so it is computed once at build time and consulted by
+	// both OracleSkyline (AK-identical tuples are decided by AC alone)
+	// and the incremental add kernel (duplicates are weak, never strict).
+	dupOf     []int32
+	dupGroups [][]int32
+
 	// domBy[p] = {q : order[q] ≺AK order[p]} with bits keyed by position.
 	// Rows are truncated to the words covering [0, runEnd[p]): no
-	// dominator can sort after the target's equal-score run.
+	// dominator can sort after the target's equal-score run. Dynamic
+	// mode widens every row to full width so mutations can set any bit.
 	domBy []bitset.Set
 	// dom[q] = {p : order[q] ≺AK order[p]}, the transpose, full width.
 	dom    []bitset.Set
 	counts []int // |DS| per position
 
-	setsOnce sync.Once
-	sets     [][]int // memoized DominatingSets, indexed by original tuple
+	// gen counts mutations; the memoized derivations record the
+	// generation they were computed at and rebuild lazily when it moved.
+	gen uint64
+
+	setsMu    sync.Mutex
+	sets      [][]int // memoized DominatingSets, indexed by original tuple
+	setsValid bool
+	setsGen   uint64
+
+	dyn *dynState // non-nil once the index went dynamic (dynamic.go)
 
 	stats IndexStats
 }
@@ -222,11 +255,18 @@ type indexAccum struct {
 // written word-wise into the target's bitmap row — no float comparison
 // in the hot loop. Weak dominance over-counts exactly the candidates
 // with a bit-identical known row (and the target itself), so a final
-// pass clears each exact-duplicate group and counts the rows. Shards own
-// disjoint target ranges; the chunk tables are read-only under the AND
-// loop and the only shared mutable state is the pair accumulator.
+// pass clears each exact-duplicate group and counts the rows.
+//
+// Two parallel schedules produce the identical bitmap: when there are at
+// least as many chunks as workers, whole chunks are claimed from an
+// atomic counter and processed with per-worker scratch tables (chunks
+// write disjoint word columns of the target rows, so no locks); with few
+// chunks the serial chunk loop shards the target AND loop instead (shards
+// own disjoint target ranges over read-only tables). Either way every
+// output word has exactly one writer, so the result is bit-for-bit
+// identical to the one-worker build.
 func (ix *Index) buildBitmap() {
-	m, dims, cols := ix.m, ix.dims, ix.cols
+	m, dims := ix.m, ix.dims
 
 	// Exact-size row allocation from one backing array: row p covers the
 	// words of [0, runEnd[p]).
@@ -244,144 +284,65 @@ func (ix *Index) buildBitmap() {
 		off += rowWords[p]
 	}
 	ix.counts = make([]int, m)
+	ix.dupOf = make([]int32, m)
+	for p := range ix.dupOf {
+		ix.dupOf[p] = -1
+	}
 	if m == 0 || dims == 0 {
 		// No attributes means no strict preference anywhere: empty rows.
+		ix.attrOrder = make([][]int32, dims)
+		for j := range ix.attrOrder {
+			ix.attrOrder[j] = []int32{}
+		}
 		return
 	}
 
-	// Global per-attribute value order (ascending, ties arbitrary): the
-	// source of both chunk-sorted prefixes and target ranks.
-	attrOrder := make([][]int32, dims)
-	for j := 0; j < dims; j++ {
-		ord := make([]int32, m)
-		for p := range ord {
-			ord[p] = int32(p)
-		}
-		col := cols[j*m : (j+1)*m]
-		sort.Slice(ord, func(x, y int) bool { return col[ord[x]] < col[ord[y]] })
-		attrOrder[j] = ord
-	}
+	ix.buildAttrOrder()
 
 	const cw = indexCandChunk >> 6 // words per full chunk
-	prefix := make([]uint64, dims*(indexCandChunk+1)*cw)
-	rank := make([]int32, dims*m)
-	for cbase := 0; cbase < m; cbase += indexCandChunk {
-		cend := cbase + indexCandChunk
-		if cend > m {
-			cend = m
-		}
-		// A target's candidates stop at its equal-score run, and runEnd is
-		// nondecreasing in position, so the targets of this chunk are the
-		// suffix starting at the first position whose run reaches past
-		// cbase.
-		tlo := sort.Search(m, func(p int) bool { return ix.runEnd[p] > cbase })
-		if tlo == m {
-			break
-		}
-
-		for j := 0; j < dims; j++ {
-			ptab := prefix[j*(indexCandChunk+1)*cw:]
-			for w := 0; w < cw; w++ {
-				ptab[w] = 0 // rank-0 row
-			}
-			col := cols[j*m : (j+1)*m]
-			rnk := rank[j*m:]
-			ord := attrOrder[j]
-			// Walk the global order in equal-value groups: admit the
-			// group's chunk members into the running prefix first, then
-			// stamp every group member's rank, so rank counts ties.
-			cnt := 0
-			for lo := 0; lo < m; {
-				hi := lo + 1
-				v := col[ord[lo]]
-				// skylint:ignore floateq rank groups mirror the exact <=/< of DominatesKnown
-				for hi < m && col[ord[hi]] == v {
-					hi++
-				}
-				for i := lo; i < hi; i++ {
-					p := int(ord[i])
-					if p < cbase || p >= cend {
-						continue
+	nchunks := (m + indexCandChunk - 1) / indexCandChunk
+	workers := workerCount()
+	if workers > 1 && m >= parallelThreshold && nchunks >= workers {
+		// Chunk pool: each worker owns private scratch tables and claims
+		// chunk indices from the counter until they run out.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				prefix := make([]uint64, dims*(indexCandChunk+1)*cw)
+				rank := make([]int32, dims*m)
+				for {
+					c := int(next.Add(1)) - 1
+					if c >= nchunks {
+						return
 					}
-					src := ptab[cnt*cw : cnt*cw+cw]
-					cnt++
-					dst := ptab[cnt*cw : cnt*cw+cw]
-					copy(dst, src)
-					b := uint(p - cbase)
-					dst[b>>6] |= 1 << (b & 63)
+					ix.buildChunk(c*indexCandChunk, prefix, rank, false)
 				}
-				for i := lo; i < hi; i++ {
-					rnk[ord[i]] = int32(cnt)
-				}
-				lo = hi
+			}()
+		}
+		wg.Wait()
+	} else {
+		prefix := make([]uint64, dims*(indexCandChunk+1)*cw)
+		rank := make([]int32, dims*m)
+		for cbase := 0; cbase < m; cbase += indexCandChunk {
+			if !ix.buildChunk(cbase, prefix, rank, true) {
+				break
 			}
 		}
-
-		wbase := cbase >> 6
-		shard(m-tlo, func(lo, hi int) {
-			for pt := tlo + lo; pt < tlo+hi; pt++ {
-				row := ix.domBy[pt]
-				lim := len(row) - wbase
-				if lim > cw {
-					lim = cw
-				}
-				p0 := prefix[int(rank[pt])*cw:]
-				row = row[wbase : wbase+lim]
-				for w := 0; w < lim; w++ {
-					v := p0[w]
-					for j := 1; j < dims; j++ {
-						v &= prefix[(j*(indexCandChunk+1)+int(rank[j*m+pt]))*cw+w]
-					}
-					row[w] = v
-				}
-			}
-		})
 	}
 
-	// Exact-duplicate groups: tuples with bit-identical known rows are
-	// mutually weakly-dominating but never strictly, and they necessarily
-	// share an equal-score run, so only multi-tuple runs need the row
-	// comparison.
-	dupOf := make([]int32, m)
-	for p := range dupOf {
-		dupOf[p] = -1
-	}
-	var dupGroups [][]int
-	var members []int
-	for lo := 0; lo < m; lo = ix.runEnd[lo] {
-		hi := ix.runEnd[lo]
-		if hi-lo < 2 {
-			continue
-		}
-		members = members[:0]
-		for p := lo; p < hi; p++ {
-			members = append(members, p)
-		}
-		sort.Slice(members, func(x, y int) bool { return ix.rowLess(members[x], members[y]) })
-		for a := 0; a < len(members); {
-			b := a + 1
-			for b < len(members) && ix.rowEqual(members[a], members[b]) {
-				b++
-			}
-			if b-a >= 2 {
-				g := append([]int(nil), members[a:b]...)
-				for _, p := range g {
-					dupOf[p] = int32(len(dupGroups))
-				}
-				dupGroups = append(dupGroups, g)
-			}
-			a = b
-		}
-	}
+	ix.buildDupGroups()
 
 	var acc indexAccum
 	shard(m, func(lo, hi int) {
 		localPairs := 0
 		for p := lo; p < hi; p++ {
 			row := ix.domBy[p]
-			if g := dupOf[p]; g >= 0 {
-				for _, q := range dupGroups[g] {
-					row.Remove(q) // duplicates (incl. self) are weak only
+			if g := ix.dupOf[p]; g >= 0 {
+				for _, q := range ix.dupGroups[g] {
+					row.Remove(int(q)) // duplicates (incl. self) are weak only
 				}
 			} else {
 				row.Remove(p)
@@ -395,6 +356,149 @@ func (ix *Index) buildBitmap() {
 		acc.mu.Unlock()
 	})
 	ix.stats.Pairs = acc.pairs
+}
+
+// buildAttrOrder materializes the global per-attribute value order
+// (ascending, ties by position, which the stable index guarantees to be
+// deterministic): the source of both chunk-sorted prefixes and target
+// ranks. Attributes sort independently, so they sort on separate workers.
+func (ix *Index) buildAttrOrder() {
+	m, dims, cols := ix.m, ix.dims, ix.cols
+	ix.attrOrder = make([][]int32, dims)
+	shardSized(dims, m, func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			ord := make([]int32, m)
+			for p := range ord {
+				ord[p] = int32(p)
+			}
+			col := cols[j*m : (j+1)*m]
+			sort.Slice(ord, func(x, y int) bool { return col[ord[x]] < col[ord[y]] })
+			ix.attrOrder[j] = ord
+		}
+	})
+}
+
+// buildChunk processes one candidate chunk: it fills the caller-owned
+// prefix/rank scratch tables for every attribute, then ANDs the selected
+// prefix rows into the word column this chunk owns of every target row.
+// With shardTargets the AND loop fans out across workers (the serial
+// chunk schedule); otherwise the caller is one of several chunk workers
+// and runs it inline. Returns false when the chunk — and, runEnd being
+// nondecreasing, every later one — has no targets.
+func (ix *Index) buildChunk(cbase int, prefix []uint64, rank []int32, shardTargets bool) bool {
+	m, dims, cols := ix.m, ix.dims, ix.cols
+	const cw = indexCandChunk >> 6
+	cend := cbase + indexCandChunk
+	if cend > m {
+		cend = m
+	}
+	// A target's candidates stop at its equal-score run, and runEnd is
+	// nondecreasing in position, so the targets of this chunk are the
+	// suffix starting at the first position whose run reaches past cbase.
+	tlo := sort.Search(m, func(p int) bool { return ix.runEnd[p] > cbase })
+	if tlo == m {
+		return false
+	}
+
+	for j := 0; j < dims; j++ {
+		ptab := prefix[j*(indexCandChunk+1)*cw:]
+		for w := 0; w < cw; w++ {
+			ptab[w] = 0 // rank-0 row
+		}
+		col := cols[j*m : (j+1)*m]
+		rnk := rank[j*m:]
+		ord := ix.attrOrder[j]
+		// Walk the global order in equal-value groups: admit the
+		// group's chunk members into the running prefix first, then
+		// stamp every group member's rank, so rank counts ties.
+		cnt := 0
+		for lo := 0; lo < m; {
+			hi := lo + 1
+			v := col[ord[lo]]
+			// skylint:ignore floateq rank groups mirror the exact <=/< of DominatesKnown
+			for hi < m && col[ord[hi]] == v {
+				hi++
+			}
+			for i := lo; i < hi; i++ {
+				p := int(ord[i])
+				if p < cbase || p >= cend {
+					continue
+				}
+				src := ptab[cnt*cw : cnt*cw+cw]
+				cnt++
+				dst := ptab[cnt*cw : cnt*cw+cw]
+				copy(dst, src)
+				b := uint(p - cbase)
+				dst[b>>6] |= 1 << (b & 63)
+			}
+			for i := lo; i < hi; i++ {
+				rnk[ord[i]] = int32(cnt)
+			}
+			lo = hi
+		}
+	}
+
+	wbase := cbase >> 6
+	and := func(lo, hi int) {
+		for pt := tlo + lo; pt < tlo+hi; pt++ {
+			row := ix.domBy[pt]
+			lim := len(row) - wbase
+			if lim > cw {
+				lim = cw
+			}
+			p0 := prefix[int(rank[pt])*cw:]
+			row = row[wbase : wbase+lim]
+			for w := 0; w < lim; w++ {
+				v := p0[w]
+				for j := 1; j < dims; j++ {
+					v &= prefix[(j*(indexCandChunk+1)+int(rank[j*m+pt]))*cw+w]
+				}
+				row[w] = v
+			}
+		}
+	}
+	if shardTargets {
+		shard(m-tlo, and)
+	} else {
+		and(0, m-tlo)
+	}
+	return true
+}
+
+// buildDupGroups computes the exact-duplicate groups: tuples with
+// bit-identical known rows are mutually weakly-dominating but never
+// strictly, and they necessarily share an equal-score run, so only
+// multi-tuple runs need the row comparison. The relation depends only on
+// attribute values, so the groups stay valid across Add/Remove cycles of
+// the dynamic path.
+func (ix *Index) buildDupGroups() {
+	ix.dupGroups = nil
+	var members []int32
+	for lo := 0; lo < ix.m; lo = ix.runEnd[lo] {
+		hi := ix.runEnd[lo]
+		if hi-lo < 2 {
+			continue
+		}
+		members = members[:0]
+		for p := lo; p < hi; p++ {
+			members = append(members, int32(p))
+		}
+		sort.Slice(members, func(x, y int) bool { return ix.rowLess(int(members[x]), int(members[y])) })
+		for a := 0; a < len(members); {
+			b := a + 1
+			for b < len(members) && ix.rowEqual(int(members[a]), int(members[b])) {
+				b++
+			}
+			if b-a >= 2 {
+				g := append([]int32(nil), members[a:b]...)
+				for _, p := range g {
+					ix.dupOf[p] = int32(len(ix.dupGroups))
+				}
+				ix.dupGroups = append(ix.dupGroups, g)
+			}
+			a = b
+		}
+	}
 }
 
 // rowLess orders positions by their known rows lexicographically.
@@ -432,7 +536,9 @@ func (ix *Index) transpose() {
 		ix.dom[p] = bitset.Set(backing[p*words : (p+1)*words : (p+1)*words])
 	}
 	blocks := words
-	shard(blocks, func(lo, hi int) {
+	// Partition units are 64-row blocks, so the fan-out decision weighs
+	// the tuple count, not the block count.
+	shardSized(blocks, m, func(lo, hi int) {
 		var blk [64]uint64
 		for bc := lo; bc < hi; bc++ { // destination row block = source word column
 			for br := 0; br < blocks; br++ { // source row block = destination word column
@@ -480,13 +586,38 @@ func transpose64(a *[64]uint64) {
 // Stats returns the build statistics.
 func (ix *Index) Stats() IndexStats { return ix.stats }
 
-// N returns the number of indexed tuples.
-func (ix *Index) N() int { return ix.m }
+// N returns the number of tuples currently indexed (alive).
+func (ix *Index) N() int {
+	if ix.dyn != nil {
+		return ix.m - ix.dyn.dead
+	}
+	return ix.m
+}
 
-// Matches reports whether the index was built over exactly this dataset
-// with no alive restriction, i.e. whether a caller holding d may adopt it
-// wholesale.
-func (ix *Index) Matches(d *dataset.Dataset) bool { return ix.d == d && ix.alive == nil }
+// Matches reports whether the index currently covers exactly this
+// dataset — built over it with no alive restriction and with every tuple
+// presently alive — i.e. whether a caller holding d may adopt it
+// wholesale. An index that drifted away through Remove calls stops
+// matching until the removals are undone; pair it with Generation to
+// detect mutation between two looks at the same index.
+func (ix *Index) Matches(d *dataset.Dataset) bool { return ix.d == d && ix.allAlive() }
+
+// allAlive reports whether every tuple of the dataset is indexed: no
+// build-time restriction and no outstanding dynamic removals.
+func (ix *Index) allAlive() bool {
+	return ix.alive == nil && (ix.dyn == nil || ix.dyn.dead == 0)
+}
+
+// aliveAt reports whether position p is currently indexed (always true
+// until the index goes dynamic and the tuple is removed).
+func (ix *Index) aliveAt(p int) bool { return ix.dyn == nil || ix.dyn.aliveBits.Has(p) }
+
+// Generation returns the mutation counter: it starts at zero and every
+// successful Add or Remove increments it, so equal generations from the
+// same Index imply identical dominance state. Derived caches
+// (DominatingSets, and through it ImmediateDominators) key off it to
+// rebuild lazily after mutations.
+func (ix *Index) Generation() uint64 { return ix.gen }
 
 // Dominates reports order-theoretic dominance s ≺AK t straight from the
 // bitmap. Dead tuples dominate nothing and are dominated by nothing.
@@ -506,9 +637,16 @@ func (ix *Index) Dominates(s, t int) bool {
 // skyline tuples get nil sets). The first call materializes the sets by
 // transposed counting fill: every set is carved at its exact size from
 // one backing array, so nothing regrows. The result is memoized and
-// shared; callers must not modify it.
+// shared; callers must not modify it. Add/Remove invalidate the memo (by
+// generation), so the next call rebuilds against the mutated bitmap.
 func (ix *Index) DominatingSets() [][]int {
-	ix.setsOnce.Do(ix.buildSets)
+	ix.setsMu.Lock()
+	defer ix.setsMu.Unlock()
+	if !ix.setsValid || ix.setsGen != ix.gen {
+		ix.buildSets()
+		ix.setsValid = true
+		ix.setsGen = ix.gen
+	}
 	return ix.sets
 }
 
@@ -522,22 +660,31 @@ func (ix *Index) buildSets() {
 	}
 	backing := make([]int, total)
 	cursor := append([]int(nil), off[:m]...)
-	// Ascending original index, so every target's set fills in ascending
-	// dominator order without a sort.
-	for u := 0; u < n; u++ {
-		ps := ix.pos[u]
-		if ps < 0 {
-			continue
-		}
-		for wi, w := range ix.dom[ps] {
-			for w != 0 {
-				pt := wi<<6 + bits.TrailingZeros64(w)
-				w &= w - 1
-				backing[cursor[pt]] = u
-				cursor[pt]++
+	// The scatter walks sources in ascending original index, so every
+	// target's set fills in ascending dominator order without a sort.
+	// Workers own disjoint word ranges of the transposed rows — hence
+	// disjoint target-position ranges, cursors, and backing segments — so
+	// the parallel fill writes every slot exactly once, in the same order
+	// as the serial one.
+	words := (m + 63) >> 6
+	shardSized(words, m, func(wlo, whi int) {
+		for u := 0; u < n; u++ {
+			ps := ix.pos[u]
+			if ps < 0 {
+				continue
+			}
+			row := ix.dom[ps]
+			for wi := wlo; wi < whi; wi++ {
+				w := row[wi]
+				for w != 0 {
+					pt := wi<<6 + bits.TrailingZeros64(w)
+					w &= w - 1
+					backing[cursor[pt]] = u
+					cursor[pt]++
+				}
 			}
 		}
-	}
+	})
 	sets := make([][]int, n)
 	for p := 0; p < m; p++ {
 		if ix.counts[p] > 0 {
@@ -581,11 +728,11 @@ func (ix *Index) FreqCounter() *FreqCounter {
 }
 
 // KnownSkyline returns SKY_AK over the indexed tuples — exactly the
-// tuples with empty dominating sets — in ascending index order.
+// alive tuples with empty dominating sets — in ascending index order.
 func (ix *Index) KnownSkyline() []int {
 	var sky []int
 	for t := 0; t < ix.n; t++ {
-		if p := ix.pos[t]; p >= 0 && ix.counts[p] == 0 {
+		if p := ix.pos[t]; p >= 0 && ix.counts[p] == 0 && ix.aliveAt(p) {
 			sky = append(sky, t)
 		}
 	}
@@ -596,11 +743,12 @@ func (ix *Index) KnownSkyline() []int {
 // values, identical to the naive OracleSkyline: a tuple is dominated over
 // A = AK ∪ AC iff some AK-dominator also weakly precedes it on every
 // crowd attribute, or some AK-identical tuple strictly precedes it in AC.
-// AK-identical tuples necessarily share a score run, so the second case
-// only scans the target's run. Like the naive oracle it may only be used
-// for grading, never by a crowd-enabled algorithm.
+// AK-identical tuples are exactly the members of the target's duplicate
+// group, so the second case walks the persisted group instead of
+// re-comparing rows. Like the naive oracle it may only be used for
+// grading, never by a crowd-enabled algorithm.
 func (ix *Index) OracleSkyline() []int {
-	if ix.alive != nil {
+	if !ix.allAlive() {
 		panic("skyline: OracleSkyline needs an unrestricted index")
 	}
 	d, m := ix.d, ix.m
@@ -623,13 +771,16 @@ func (ix *Index) OracleSkyline() []int {
 					}
 				}
 			}
-			for q := ix.runStart[p]; q < ix.runEnd[p] && !dominated; q++ {
-				if q == p {
-					continue
-				}
-				s := ix.order[q]
-				if exactEqualKnown(d, s, t) && latentStrictlyDominates(d, s, t, dc) {
-					dominated = true
+			if g := ix.dupOf[p]; g >= 0 && !dominated {
+				for _, qp := range ix.dupGroups[g] {
+					q := int(qp)
+					if q == p {
+						continue
+					}
+					if latentStrictlyDominates(d, ix.order[q], t, dc) {
+						dominated = true
+						break
+					}
 				}
 			}
 			inSky[p] = !dominated
@@ -671,17 +822,3 @@ func latentStrictlyDominates(d *dataset.Dataset, s, t, dc int) bool {
 	return strict
 }
 
-// exactEqualKnown is bit-exact equality on every known attribute — the
-// condition under which full-attribute dominance is decided by AC alone
-// (EqualKnown's epsilon tolerance is for the degenerate-case crowd
-// preprocessing, not for the dominance relation itself).
-func exactEqualKnown(d *dataset.Dataset, s, t int) bool {
-	sr, tr := d.KnownRow(s), d.KnownRow(t)
-	for j := range sr {
-		// skylint:ignore floateq the dominance relation itself uses plain compares (see doc comment)
-		if sr[j] != tr[j] {
-			return false
-		}
-	}
-	return true
-}

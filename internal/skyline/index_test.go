@@ -277,6 +277,64 @@ func TestIndexManyChunks(t *testing.T) {
 	}
 }
 
+// requireBitIdentical compares two indexes over the same dataset word
+// for word: layout, every dominator row, every transposed row, counts,
+// and the pair total. This is the "parallel build is deterministic"
+// contract — not just equal derivations, the identical bitmap.
+func requireBitIdentical(t *testing.T, ref, got *Index, workers int) {
+	t.Helper()
+	if !reflect.DeepEqual(got.order, ref.order) || !reflect.DeepEqual(got.counts, ref.counts) {
+		t.Fatalf("workers=%d: layout or counts differ from serial build", workers)
+	}
+	if got.stats.Pairs != ref.stats.Pairs {
+		t.Fatalf("workers=%d: pairs = %d, serial %d", workers, got.stats.Pairs, ref.stats.Pairs)
+	}
+	for p := range ref.domBy {
+		if !reflect.DeepEqual(got.domBy[p], ref.domBy[p]) {
+			t.Fatalf("workers=%d: dominator row %d differs from serial build", workers, p)
+		}
+		if !reflect.DeepEqual(got.dom[p], ref.dom[p]) {
+			t.Fatalf("workers=%d: transposed row %d differs from serial build", workers, p)
+		}
+	}
+	if !reflect.DeepEqual(got.DominatingSets(), ref.DominatingSets()) {
+		t.Fatalf("workers=%d: DominatingSets differ from serial build", workers)
+	}
+}
+
+// TestIndexWorkerCountDeterminism builds the same datasets at 1, 2, 3, 4
+// and 8 workers with the fan-out threshold floored, covering both
+// parallel schedules (chunk pool when chunks outnumber workers, sharded
+// target loop otherwise), and requires every build to be bit-for-bit the
+// one-worker result.
+func TestIndexWorkerCountDeterminism(t *testing.T) {
+	oldT := parallelThreshold
+	parallelThreshold = 1
+	t.Cleanup(func() { parallelThreshold = oldT; SetMaxWorkers(0) })
+	shapes := map[string]*dataset.Dataset{
+		"IND":  randData(71, 260, 4, 0, dataset.Independent),
+		"ANT":  randData(72, 300, 3, 0, dataset.AntiCorrelated),
+		"dups": withDuplicates(t, randData(73, 220, 3, 1, dataset.Independent), 73),
+		"tiny": randData(75, 3, 2, 0, dataset.Independent),
+	}
+	if !testing.Short() {
+		// Three candidate chunks: workers 2 and 3 take the chunk pool,
+		// 4 and 8 fall back to the sharded target loop.
+		shapes["multi-chunk"] = randData(74, 2*indexCandChunk+100, 3, 0, dataset.AntiCorrelated)
+	}
+	for name, d := range shapes {
+		t.Run(name, func(t *testing.T) {
+			SetMaxWorkers(1)
+			ref := NewIndex(d)
+			for _, w := range []int{2, 3, 4, 8} {
+				SetMaxWorkers(w)
+				requireBitIdentical(t, ref, NewIndex(d), w)
+			}
+			SetMaxWorkers(0)
+		})
+	}
+}
+
 // FuzzIndex drives the full differential battery from fuzzed shape and
 // seed bytes.
 func FuzzIndex(f *testing.F) {

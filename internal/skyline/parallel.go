@@ -26,22 +26,56 @@ import (
 // drive the sharded paths, race detector included, on small inputs.
 var parallelThreshold = 2048
 
-// shard runs fn over [0, n) in parallel chunks and waits for completion.
-func shard(n int, fn func(lo, hi int)) {
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
+// maxWorkers caps the build/derivation parallelism; 0 means
+// runtime.NumCPU(). See SetMaxWorkers.
+var maxWorkers = 0
+
+// SetMaxWorkers caps the number of workers the sharded kernels and the
+// parallel index build use (0 restores the runtime.NumCPU() default) and
+// returns the previous cap. Every kernel writes disjoint output slots, so
+// the result is bit-for-bit identical for every worker count — the knob
+// exists for the bench harness (serial-vs-parallel build rows, the
+// core-scaling curve) and for the differential tests that prove that
+// invariant. It is not synchronized with in-flight builds; set it between
+// builds only.
+func SetMaxWorkers(n int) (prev int) {
+	prev = maxWorkers
+	maxWorkers = n
+	return prev
+}
+
+// workerCount returns the effective worker cap.
+func workerCount() int {
+	if maxWorkers > 0 {
+		return maxWorkers
 	}
-	if workers <= 1 || n < parallelThreshold {
-		fn(0, n)
+	return runtime.NumCPU()
+}
+
+// shard runs fn over [0, n) in parallel chunks and waits for completion.
+func shard(n int, fn func(lo, hi int)) { shardSized(n, n, fn) }
+
+// shardSized runs fn over [0, units) in parallel chunks, deciding whether
+// to fan out from workload (the number of tuples the pass touches) rather
+// than from the unit count. Passes whose natural partition is coarser
+// than tuples — the word-sharded dominating-set scatter partitions bitmap
+// words, each worth 64 tuples — stay parallel when the work justifies it
+// even though their unit count alone would sit under the threshold.
+func shardSized(units, workload int, fn func(lo, hi int)) {
+	workers := workerCount()
+	if workers > units {
+		workers = units
+	}
+	if workers <= 1 || workload < parallelThreshold {
+		fn(0, units)
 		return
 	}
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
+	chunk := (units + workers - 1) / workers
+	for lo := 0; lo < units; lo += chunk {
 		hi := lo + chunk
-		if hi > n {
-			hi = n
+		if hi > units {
+			hi = units
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
