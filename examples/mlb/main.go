@@ -40,6 +40,9 @@ func main() {
 		run(fmt.Sprintf("static ω=5 #%d", seed), crowdsky.StaticVoting(5), seed)
 		last = run(fmt.Sprintf("dynamic #%d", seed), crowdsky.DynamicVoting(d, 5), seed)
 	}
+	if last == nil {
+		return
+	}
 
 	fmt.Println("\ncrowdsourced skyline (compare: 2013 Cy Young candidates were")
 	fmt.Println("Kershaw, Scherzer, Darvish, Colon, Wainwright, Iwakuma):")

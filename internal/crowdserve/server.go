@@ -63,6 +63,11 @@ type AnswerJSON struct {
 // prefToString and back.
 func prefString(p crowd.Preference) string { return p.String() }
 
+// parsePref maps a wire preference to its enum, rejecting anything
+// outside the three literals — crowd input never reaches crowd.Preference
+// unvalidated.
+//
+// skylint:sanitizer
 func parsePref(s string) (crowd.Preference, error) {
 	switch s {
 	case "first":
@@ -74,6 +79,48 @@ func parsePref(s string) (crowd.Preference, error) {
 	}
 	//skylint:alloc-ok malformed-preference error path; rejected requests are not the steady state
 	return 0, fmt.Errorf("crowdserve: unknown preference %q", s)
+}
+
+// cleanWorkerID validates a worker identifier from the wire before it
+// keys any persistent server state (voter sets, per-worker accounting):
+// non-empty, at most 128 bytes, restricted to [A-Za-z0-9._-]. The
+// simulated workers ("sim-0", "sim-1", ...) and every human-assigned id
+// in the fleet fit; anything else is rejected with a 400 by the caller.
+//
+// skylint:sanitizer
+func cleanWorkerID(s string) (string, bool) {
+	if s == "" || len(s) > 128 || !safeToken(s) {
+		return "", false
+	}
+	return s, true
+}
+
+// cleanIdemKey validates an Idempotency-Key header value before it keys
+// the replay map. Client-minted keys are a hex session id plus a
+// sequence number ("3f..e2-17"), well inside the same token charset; the
+// length cap bounds what one client can park in s.idem per entry.
+//
+// skylint:sanitizer
+func cleanIdemKey(s string) (string, bool) {
+	if s == "" || len(s) > 200 || !safeToken(s) {
+		return "", false
+	}
+	return s, true
+}
+
+// safeToken reports whether s contains only [A-Za-z0-9._-]. It touches
+// no memory beyond s, so the hot handlers can validate without
+// allocating.
+func safeToken(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // assignment is one (question, worker slot) unit of work.
@@ -265,7 +312,14 @@ func (s *Server) handlePostRound(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "round has no questions")
 		return
 	}
-	idemKey := r.Header.Get("Idempotency-Key")
+	idemKey := ""
+	if raw := r.Header.Get("Idempotency-Key"); raw != "" {
+		var ok bool
+		if idemKey, ok = cleanIdemKey(raw); !ok {
+			s.writeError(w, http.StatusBadRequest, "invalid Idempotency-Key")
+			return
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// A retried submission whose original attempt landed (but whose
@@ -394,9 +448,9 @@ func (s *Server) handleGetRound(w http.ResponseWriter, r *http.Request) {
 //
 //skylint:hotpath serve
 func (s *Server) handleGetWork(w http.ResponseWriter, r *http.Request) {
-	worker := r.URL.Query().Get("worker")
-	if worker == "" {
-		s.writeError(w, http.StatusBadRequest, "missing worker id")
+	worker, ok := cleanWorkerID(r.URL.Query().Get("worker"))
+	if !ok {
+		s.writeError(w, http.StatusBadRequest, "missing or invalid worker id")
 		return
 	}
 	s.mu.Lock()
@@ -510,6 +564,11 @@ func (s *Server) handlePostAnswer(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	worker, ok := cleanWorkerID(body.Worker)
+	if !ok {
+		s.writeError(w, http.StatusBadRequest, "missing or invalid worker id")
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	a, ok := s.leased[body.AssignmentID]
@@ -517,7 +576,7 @@ func (s *Server) handlePostAnswer(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusConflict, "assignment not leased (expired or already answered)")
 		return
 	}
-	if a.leasedTo != body.Worker {
+	if a.leasedTo != worker {
 		s.writeError(w, http.StatusForbidden, "assignment leased to another worker")
 		return
 	}
@@ -532,7 +591,7 @@ func (s *Server) handlePostAnswer(w http.ResponseWriter, r *http.Request) {
 	a.judgeSpan = nil
 	//skylint:alloc-ok capacity for every vote is reserved at round creation; this append never grows
 	rd.votes[a.qIndex] = append(rd.votes[a.qIndex], pref)
-	rd.voters[a.qIndex][body.Worker] = true
+	rd.voters[a.qIndex][worker] = true
 	rd.remaining--
 	if rd.remaining == 0 {
 		// Every judgment is in; the round's crowd part is over (the
@@ -540,7 +599,7 @@ func (s *Server) handlePostAnswer(w http.ResponseWriter, r *http.Request) {
 		rd.span.End()
 	}
 	s.judgments++
-	s.perWorker[body.Worker]++
+	s.perWorker[worker]++
 	s.mJudgments.Inc()
 	//skylint:alloc-ok one acknowledgement object per accepted judgment
 	s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})

@@ -642,6 +642,12 @@ func containsFuncLit(nd ast.Node) bool {
 	return found
 }
 
+// FuncID derives the stable node ID for a named function object, for
+// Graph.Lookup: analyzers that resolve call targets from their own walks
+// (the SSA value-flow analyzers record static callees as *types.Func) use
+// it to reach the callee's node and summary.
+func FuncID(fn *types.Func) string { return funcID(fn) }
+
 // funcID derives the stable node ID for a named function object. It only
 // uses package paths and names, so it agrees across the distinct type
 // universes produced by the source importer.

@@ -1,0 +1,205 @@
+// Dominator tree and dominance frontiers over a cfg.Graph.
+//
+// The construction is the Cooper–Harvey–Kennedy iterative algorithm
+// ("A Simple, Fast Dominance Algorithm"): compute a reverse postorder
+// over the reachable blocks, then iterate the two-finger intersection
+// until the immediate-dominator array reaches a fixed point. The graphs
+// skylint builds are tiny (tens of blocks), so the simple O(n²)
+// worst-case bound is irrelevant; what matters is that the algorithm is
+// easy to verify and fully deterministic.
+package ssa
+
+import "crowdsky/internal/lint/analysis/cfg"
+
+// DomTree is the dominator tree of one cfg.Graph, plus the dominance
+// frontier of every block. All slices are indexed by Block.Index.
+type DomTree struct {
+	// Idom[i] is the Block.Index of block i's immediate dominator. The
+	// entry block and unreachable blocks have Idom -1.
+	Idom []int
+	// Children[i] lists the blocks immediately dominated by i, in
+	// ascending index order (deterministic walks).
+	Children [][]int
+	// Frontier[i] is the dominance frontier of block i: the blocks where
+	// i's dominance stops — exactly the phi-placement candidates.
+	Frontier [][]int
+	// Reachable[i] reports whether block i is reachable from the entry.
+	// Dominance is defined only over reachable blocks.
+	Reachable []bool
+	// Preds[i] lists the predecessors of block i, in edge order. An edge
+	// appears once per occurrence, so a block that links to the same
+	// successor twice contributes two entries.
+	Preds [][]int
+
+	// pre/post number the dominator tree by DFS entry/exit time, giving
+	// O(1) Dominates queries.
+	pre, post []int
+}
+
+// BuildDom computes the dominator tree and dominance frontiers of g.
+func BuildDom(g *cfg.Graph) *DomTree {
+	n := len(g.Blocks)
+	d := &DomTree{
+		Idom:      make([]int, n),
+		Children:  make([][]int, n),
+		Frontier:  make([][]int, n),
+		Reachable: make([]bool, n),
+		Preds:     make([][]int, n),
+		pre:       make([]int, n),
+		post:      make([]int, n),
+	}
+	for i := range d.Idom {
+		d.Idom[i] = -1
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			d.Preds[s.Index] = append(d.Preds[s.Index], b.Index)
+		}
+	}
+
+	// Postorder DFS from the entry (iterative: the fuzzer feeds us deeply
+	// nested synthetic functions).
+	postorder := make([]int, 0, n)
+	ponum := make([]int, n) // block index -> postorder number
+	type frame struct {
+		b    int
+		succ int
+	}
+	stack := []frame{{b: g.Entry.Index}}
+	d.Reachable[g.Entry.Index] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		blk := g.Blocks[f.b]
+		if f.succ < len(blk.Succs) {
+			s := blk.Succs[f.succ].Index
+			f.succ++
+			if !d.Reachable[s] {
+				d.Reachable[s] = true
+				stack = append(stack, frame{b: s})
+			}
+			continue
+		}
+		ponum[f.b] = len(postorder)
+		postorder = append(postorder, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	// Reverse postorder, excluding the entry.
+	rpo := make([]int, 0, len(postorder))
+	for i := len(postorder) - 1; i >= 0; i-- {
+		if postorder[i] != g.Entry.Index {
+			rpo = append(rpo, postorder[i])
+		}
+	}
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for ponum[a] < ponum[b] {
+				a = d.Idom[a]
+			}
+			for ponum[b] < ponum[a] {
+				b = d.Idom[b]
+			}
+		}
+		return a
+	}
+
+	d.Idom[g.Entry.Index] = g.Entry.Index // self, temporarily, for intersect
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			newIdom := -1
+			for _, p := range d.Preds[b] {
+				if !d.Reachable[p] || d.Idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else if p != newIdom {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && d.Idom[b] != newIdom {
+				d.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	d.Idom[g.Entry.Index] = -1
+
+	// Dominance frontiers (CHK): for every join point, walk each
+	// predecessor's dominator chain up to the join's idom.
+	for _, b := range rpo {
+		preds := d.Preds[b]
+		live := 0
+		for _, p := range preds {
+			if d.Reachable[p] && (d.Idom[p] != -1 || p == g.Entry.Index) {
+				live++
+			}
+		}
+		if live < 2 {
+			continue
+		}
+		for _, p := range preds {
+			if !d.Reachable[p] || (d.Idom[p] == -1 && p != g.Entry.Index) {
+				continue
+			}
+			for runner := p; runner != d.Idom[b]; runner = d.Idom[runner] {
+				d.Frontier[runner] = appendUnique(d.Frontier[runner], b)
+				if runner == g.Entry.Index {
+					break
+				}
+			}
+		}
+	}
+
+	// Children lists + pre/post numbering for Dominates.
+	for _, b := range rpo {
+		if id := d.Idom[b]; id != -1 {
+			d.Children[id] = append(d.Children[id], b)
+		}
+	}
+	// rpo order already ascends within a parent deterministically, but it
+	// is not index-sorted; sort for stable walks.
+	for i := range d.Children {
+		sortInts(d.Children[i])
+	}
+	clock := 0
+	var number func(b int)
+	number = func(b int) {
+		clock++
+		d.pre[b] = clock
+		for _, c := range d.Children[b] {
+			number(c)
+		}
+		clock++
+		d.post[b] = clock
+	}
+	number(g.Entry.Index)
+	return d
+}
+
+// Dominates reports whether block a dominates block b (reflexively).
+// Both must be reachable; unreachable blocks dominate nothing.
+func (d *DomTree) Dominates(a, b int) bool {
+	if !d.Reachable[a] || !d.Reachable[b] {
+		return false
+	}
+	return d.pre[a] <= d.pre[b] && d.post[b] <= d.post[a]
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

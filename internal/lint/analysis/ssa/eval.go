@@ -1,0 +1,806 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// evalNode processes one CFG block node. In scanning mode it only
+// records use/def events for phi pruning; in renaming mode it builds
+// values and pushes variable versions.
+func (b *builder) evalNode(blk int, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		b.evalAssign(blk, n)
+	case *ast.DeclStmt:
+		b.evalDecl(blk, n)
+	case *ast.IncDecStmt:
+		old := b.evalExpr(blk, n.X)
+		var nv *Value
+		if !b.scanning {
+			nv = b.newValue(KExpr, n, blk, typeOf(b.info, n.X), old)
+		}
+		b.defineTarget(blk, n.X, nv, false)
+	case *ast.ReturnStmt:
+		b.evalReturn(blk, n)
+	case *ast.SendStmt:
+		b.evalExpr(blk, n.Chan)
+		b.evalExpr(blk, n.Value)
+	case *ast.ExprStmt:
+		b.evalExpr(blk, n.X)
+	case *ast.GoStmt:
+		b.evalExpr(blk, n.Call)
+	case *ast.DeferStmt:
+		b.evalExpr(blk, n.Call)
+	case ast.Expr:
+		v := b.evalExpr(blk, n)
+		if rs := b.rangeOf[n]; rs != nil {
+			b.defineRange(blk, rs, v)
+		}
+	}
+}
+
+func (b *builder) evalAssign(blk int, s *ast.AssignStmt) {
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		// Compound x op= y: read-modify-write.
+		old := b.evalExpr(blk, s.Lhs[0])
+		rv := b.evalExpr(blk, s.Rhs[0])
+		var nv *Value
+		if !b.scanning {
+			nv = b.newValue(KExpr, s, blk, typeOf(b.info, s.Lhs[0]), old, rv)
+		}
+		b.defineTarget(blk, s.Lhs[0], nv, false)
+		return
+	}
+	if len(s.Lhs) > 1 && len(s.Rhs) == 1 {
+		// Tuple assignment: multi-result call, comma-ok forms.
+		rv := b.evalExpr(blk, s.Rhs[0])
+		for i, lhs := range s.Lhs {
+			var v *Value
+			if !b.scanning {
+				if rv != nil && rv.Kind == KCall && !rv.IsConvert {
+					v = b.extract(blk, rv, i, typeOf(b.info, lhs))
+				} else {
+					v = b.newValue(KExpr, s.Rhs[0], blk, typeOf(b.info, lhs), rv)
+				}
+			}
+			b.defineTarget(blk, lhs, v, s.Tok == token.DEFINE)
+		}
+		return
+	}
+	// Parallel assignment: all RHS evaluate before any LHS is written.
+	vals := make([]*Value, len(s.Rhs))
+	for i := range s.Rhs {
+		vals[i] = b.evalExpr(blk, s.Rhs[i])
+	}
+	for i, lhs := range s.Lhs {
+		var v *Value
+		if i < len(vals) {
+			v = vals[i]
+		}
+		b.defineTarget(blk, lhs, v, s.Tok == token.DEFINE)
+	}
+}
+
+func (b *builder) evalDecl(blk int, s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		switch {
+		case len(vs.Values) == 0:
+			for _, name := range vs.Names {
+				var v *Value
+				if !b.scanning {
+					v = b.zeroConst(name, blk, typeOf(b.info, name))
+				}
+				b.defineTarget(blk, name, v, true)
+			}
+		case len(vs.Values) == 1 && len(vs.Names) > 1:
+			rv := b.evalExpr(blk, vs.Values[0])
+			for i, name := range vs.Names {
+				var v *Value
+				if !b.scanning {
+					if rv != nil && rv.Kind == KCall && !rv.IsConvert {
+						v = b.extract(blk, rv, i, typeOf(b.info, name))
+					} else {
+						v = b.newValue(KExpr, vs.Values[0], blk, typeOf(b.info, name), rv)
+					}
+				}
+				b.defineTarget(blk, name, v, true)
+			}
+		default:
+			for i, name := range vs.Names {
+				var v *Value
+				if i < len(vs.Values) {
+					v = b.evalExpr(blk, vs.Values[i])
+				}
+				b.defineTarget(blk, name, v, true)
+			}
+		}
+	}
+}
+
+func (b *builder) evalReturn(blk int, s *ast.ReturnStmt) {
+	var vals []*Value
+	switch {
+	case len(s.Results) == 0:
+		// Naked return: the named results' current versions.
+		for _, vs := range b.vars {
+			if vs.info.Path == "" && b.namedResults[vs.info.Obj] {
+				if b.scanning {
+					b.scanUse(vs)
+				} else {
+					vals = append(vals, b.current(blk, vs))
+				}
+			}
+		}
+	case len(s.Results) == 1:
+		rv := b.evalExpr(blk, s.Results[0])
+		if b.scanning {
+			return
+		}
+		if rv != nil && rv.Kind == KCall && !rv.IsConvert {
+			if tup, ok := rv.Type.(*types.Tuple); ok {
+				// return f() spreading a multi-result call.
+				for i := 0; i < tup.Len(); i++ {
+					vals = append(vals, b.extract(blk, rv, i, tup.At(i).Type()))
+				}
+				break
+			}
+		}
+		vals = append(vals, rv)
+	default:
+		for _, r := range s.Results {
+			vals = append(vals, b.evalExpr(blk, r))
+		}
+	}
+	if !b.scanning {
+		b.f.ReturnVals[s] = vals
+	}
+}
+
+// defineRange models `for k, v := range x`: Key and Value are defined
+// once, where x is evaluated, with values derived from the container.
+func (b *builder) defineRange(blk int, rs *ast.RangeStmt, xv *Value) {
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if e == nil {
+			continue
+		}
+		var v *Value
+		if !b.scanning {
+			v = b.newValue(KExpr, rs, blk, typeOf(b.info, e), xv)
+		}
+		b.defineTarget(blk, e, v, rs.Tok == token.DEFINE)
+	}
+}
+
+// defineTarget writes v to an assignment target, versioning tracked
+// variables and killing dependent selector paths. Untracked targets
+// still evaluate their component expressions (base, index) as uses.
+func (b *builder) defineTarget(blk int, lhs ast.Expr, v *Value, isDefine bool) {
+	switch l := unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := b.info.Defs[l]
+		if obj == nil {
+			obj = b.info.Uses[l]
+		}
+		vs := b.trackedOf(obj)
+		if vs == nil {
+			return
+		}
+		if !b.scanning && v == nil {
+			v = b.newValue(KExpr, lhs, blk, vs.info.Type)
+		}
+		b.define(blk, vs, v)
+		b.killPaths(blk, obj, "", "", lhs)
+	case *ast.SelectorExpr:
+		b.evalExpr(blk, l.X) // base is read to locate the field
+		base, path, _ := b.pathKey(l)
+		if base == nil {
+			return
+		}
+		if vs := b.paths[base][path]; vs != nil {
+			if !b.scanning && v == nil {
+				v = b.newValue(KExpr, lhs, blk, vs.info.Type)
+			}
+			b.define(blk, vs, v)
+		}
+		b.killPaths(blk, base, path, path, lhs)
+	case *ast.StarExpr:
+		b.evalExpr(blk, l.X)
+	case *ast.IndexExpr:
+		b.evalExpr(blk, l.X)
+		b.evalExpr(blk, l.Index)
+	}
+}
+
+// killPaths gives every tracked path rooted at base that extends prefix
+// (excluding exclude itself) a fresh opaque version: its old value is no
+// longer known after the store.
+func (b *builder) killPaths(blk int, base types.Object, prefix, exclude string, node ast.Node) {
+	m := b.paths[base]
+	if len(m) == 0 {
+		return
+	}
+	for _, vs := range b.sortedPaths(m) {
+		p := vs.info.Path
+		if p == exclude && exclude != "" {
+			continue
+		}
+		if prefix != "" && !(len(p) > len(prefix) && p[:len(prefix)] == prefix && p[len(prefix)] == '.') {
+			continue
+		}
+		var v *Value
+		if !b.scanning {
+			v = b.newValue(KExpr, node, blk, vs.info.Type)
+		}
+		b.define(blk, vs, v)
+	}
+}
+
+func (b *builder) sortedPaths(m map[string]*varState) []*varState {
+	out := make([]*varState, 0, len(m))
+	for _, vs := range m {
+		out = append(out, vs)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].idx < out[j-1].idx; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// defineOutParam models f(&x): the call may write through the pointer,
+// so x (or x.f) gets a fresh version derived from the call.
+func (b *builder) defineOutParam(blk int, target ast.Expr, call *Value) {
+	switch t := unparen(target).(type) {
+	case *ast.Ident:
+		obj := b.info.Uses[t]
+		vs := b.trackedOf(obj)
+		if vs == nil {
+			return
+		}
+		var v *Value
+		if !b.scanning {
+			v = b.newValue(KOutDef, t, blk, vs.info.Type, call)
+		}
+		b.define(blk, vs, v)
+		b.killPaths(blk, obj, "", "", t)
+	case *ast.SelectorExpr:
+		base, path, _ := b.pathKey(t)
+		if base == nil {
+			return
+		}
+		if vs := b.paths[base][path]; vs != nil {
+			var v *Value
+			if !b.scanning {
+				v = b.newValue(KOutDef, t, blk, vs.info.Type, call)
+			}
+			b.define(blk, vs, v)
+		}
+		b.killPaths(blk, base, path, path, t)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Expressions
+
+// record memoizes the value of an evaluated expression.
+func (b *builder) record(e ast.Expr, v *Value) *Value {
+	if b.scanning || v == nil {
+		return v
+	}
+	b.f.ValueOf[e] = v
+	return v
+}
+
+func (b *builder) evalExpr(blk int, e ast.Expr) *Value {
+	if e == nil {
+		return nil
+	}
+	if !b.scanning {
+		if v, ok := b.f.ValueOf[e]; ok {
+			return v
+		}
+	}
+	tv, hasTV := b.info.Types[e]
+	if hasTV && tv.IsType() {
+		return nil
+	}
+	if hasTV && tv.Value != nil {
+		// Folded constant (literal, named const, constant expression).
+		// Constant expressions contain no variable uses, so not
+		// descending loses no events.
+		if b.scanning {
+			return nil
+		}
+		v := b.newValue(KConst, e, blk, tv.Type)
+		v.ConstVal = tv.Value
+		return b.record(e, v)
+	}
+
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return nil
+		}
+		obj := b.info.Uses[e]
+		if obj == nil {
+			obj = b.info.Defs[e]
+		}
+		if _, isNil := obj.(*types.Nil); isNil {
+			if b.scanning {
+				return nil
+			}
+			return b.record(e, b.nilConst(e, blk))
+		}
+		if vs := b.trackedOf(obj); vs != nil {
+			if b.scanning {
+				b.scanUse(vs)
+				return nil
+			}
+			return b.record(e, b.current(blk, vs))
+		}
+		return b.opaque(e, blk)
+
+	case *ast.ParenExpr:
+		v := b.evalExpr(blk, e.X)
+		return b.record(e, v)
+
+	case *ast.SelectorExpr:
+		// Qualified identifier (pkg.X)? No Selection is recorded.
+		if b.info.Selections[e] == nil {
+			if id, ok := unparen(e.X).(*ast.Ident); ok {
+				if _, isPkg := b.info.Uses[id].(*types.PkgName); isPkg {
+					return b.opaque(e, blk)
+				}
+			}
+		}
+		xv := b.evalExpr(blk, e.X)
+		if vs := b.pathOf(e); vs != nil {
+			if b.scanning {
+				b.scanUse(vs)
+				return nil
+			}
+			return b.record(e, b.current(blk, vs))
+		}
+		if b.scanning {
+			return nil
+		}
+		return b.record(e, b.newValue(KExpr, e, blk, typeOf(b.info, e), xv))
+
+	case *ast.StarExpr:
+		xv := b.evalExpr(blk, e.X)
+		if b.scanning {
+			return nil
+		}
+		return b.record(e, b.newValue(KExpr, e, blk, typeOf(b.info, e), xv))
+
+	case *ast.UnaryExpr:
+		xv := b.evalExpr(blk, e.X)
+		if b.scanning {
+			return nil
+		}
+		return b.record(e, b.newValue(KExpr, e, blk, typeOf(b.info, e), xv))
+
+	case *ast.BinaryExpr:
+		xv := b.evalExpr(blk, e.X)
+		yv := b.evalExpr(blk, e.Y)
+		if b.scanning {
+			return nil
+		}
+		return b.record(e, b.newValue(KExpr, e, blk, typeOf(b.info, e), xv, yv))
+
+	case *ast.CallExpr:
+		return b.evalCall(blk, e)
+
+	case *ast.IndexExpr:
+		xv := b.evalExpr(blk, e.X)
+		iv := b.evalExpr(blk, e.Index)
+		if b.scanning {
+			return nil
+		}
+		return b.record(e, b.newValue(KExpr, e, blk, typeOf(b.info, e), xv, iv))
+
+	case *ast.IndexListExpr:
+		xv := b.evalExpr(blk, e.X)
+		if b.scanning {
+			return nil
+		}
+		return b.record(e, b.newValue(KExpr, e, blk, typeOf(b.info, e), xv))
+
+	case *ast.SliceExpr:
+		args := []*Value{b.evalExpr(blk, e.X), b.evalExpr(blk, e.Low), b.evalExpr(blk, e.High), b.evalExpr(blk, e.Max)}
+		if b.scanning {
+			return nil
+		}
+		return b.record(e, b.newValue(KExpr, e, blk, typeOf(b.info, e), args...))
+
+	case *ast.TypeAssertExpr:
+		xv := b.evalExpr(blk, e.X)
+		if b.scanning {
+			return nil
+		}
+		return b.record(e, b.newValue(KExpr, e, blk, typeOf(b.info, e), xv))
+
+	case *ast.CompositeLit:
+		var args []*Value
+		isStruct := false
+		if t := typeOf(b.info, e); t != nil {
+			_, isStruct = t.Underlying().(*types.Struct)
+		}
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if !isStruct {
+					args = append(args, b.evalExpr(blk, kv.Key))
+				}
+				args = append(args, b.evalExpr(blk, kv.Value))
+				continue
+			}
+			args = append(args, b.evalExpr(blk, elt))
+		}
+		if b.scanning {
+			return nil
+		}
+		return b.record(e, b.newValue(KExpr, e, blk, typeOf(b.info, e), args...))
+
+	case *ast.FuncLit:
+		// Opaque: the literal's body has its own SSA.
+		return b.opaque(e, blk)
+
+	default:
+		return b.opaque(e, blk)
+	}
+}
+
+func (b *builder) opaque(e ast.Expr, blk int) *Value {
+	if b.scanning {
+		return nil
+	}
+	return b.record(e, b.newValue(KExpr, e, blk, typeOf(b.info, e)))
+}
+
+func (b *builder) evalCall(blk int, call *ast.CallExpr) *Value {
+	// Conversion T(x)?
+	if tv, ok := b.info.Types[call.Fun]; ok && tv.IsType() {
+		var xv *Value
+		if len(call.Args) > 0 {
+			xv = b.evalExpr(blk, call.Args[0])
+		}
+		if b.scanning {
+			return nil
+		}
+		v := b.newValue(KCall, call, blk, typeOf(b.info, call), xv)
+		v.IsConvert = true
+		return b.record(call, v)
+	}
+
+	var args []*Value
+	var callee *types.Func
+	builtin := ""
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := b.info.Uses[fun].(type) {
+		case *types.Builtin:
+			builtin = obj.Name()
+		case *types.Func:
+			callee = obj
+		default:
+			args = append(args, b.evalExpr(blk, fun)) // func value
+		}
+	case *ast.SelectorExpr:
+		if sel := b.info.Selections[fun]; sel != nil {
+			recv := b.evalExpr(blk, fun.X) // method call: receiver is read
+			args = append(args, recv)
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				callee = fn
+			}
+		} else if fn, ok := b.info.Uses[fun.Sel].(*types.Func); ok {
+			callee = fn // qualified pkg.F
+		} else {
+			args = append(args, b.evalExpr(blk, fun)) // pkg-level func var
+		}
+	default:
+		args = append(args, b.evalExpr(blk, call.Fun)) // closure call, f()()
+	}
+	for _, a := range call.Args {
+		if v := b.evalExpr(blk, a); v != nil {
+			args = append(args, v)
+		}
+	}
+
+	var v *Value
+	if !b.scanning {
+		v = b.newValue(KCall, call, blk, typeOf(b.info, call), args...)
+		v.Callee = callee
+		v.Builtin = builtin
+		b.record(call, v)
+	}
+	// Out-parameters: f(&x) may write x.
+	for _, a := range call.Args {
+		if ue, ok := unparen(a).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+			b.defineOutParam(blk, ue.X, v)
+		}
+	}
+	b.killCallMutations(blk, call)
+	return v
+}
+
+// killCallMutations invalidates the selector-path versions a call may
+// have mutated: a method call can write any field reachable through its
+// receiver (x.init() assigning x.f is the motivating case), and passing
+// a tracked pointer or interface as a plain argument hands the callee
+// the same mutation power. The base variable itself is unaffected —
+// callees cannot rebind the caller's variable.
+func (b *builder) killCallMutations(blk int, call *ast.CallExpr) {
+	if fun, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && b.info.Selections[fun] != nil {
+		recv := unparen(fun.X)
+		killed := false
+		if sel, ok := recv.(*ast.SelectorExpr); ok {
+			if base, path, _ := b.pathKey(sel); base != nil {
+				// x.f.m(): extensions of x.f may change; x.f itself cannot.
+				b.killPaths(blk, base, path, "", call)
+				killed = true
+			}
+		}
+		if !killed {
+			if id := baseIdent(recv); id != nil {
+				b.killPaths(blk, b.info.Uses[id], "", "", call)
+			}
+		}
+	}
+	for _, a := range call.Args {
+		id, ok := unparen(a).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := b.info.Uses[id]
+		if obj == nil || len(b.paths[obj]) == 0 {
+			continue
+		}
+		switch obj.Type().Underlying().(type) {
+		case *types.Pointer, *types.Interface:
+			b.killPaths(blk, obj, "", "", call)
+		}
+	}
+}
+
+func (b *builder) extract(blk int, call *Value, i int, typ types.Type) *Value {
+	v := b.newValue(KExtract, call.Node, blk, typ, call)
+	v.Index = i
+	return v
+}
+
+func (b *builder) zeroConst(node ast.Node, blk int, typ types.Type) *Value {
+	v := b.newValue(KConst, node, blk, typ)
+	v.IsZero = true
+	v.IsNil = isNilable(typ)
+	return v
+}
+
+func (b *builder) nilConst(e ast.Expr, blk int) *Value {
+	v := b.newValue(KConst, e, blk, typeOf(b.info, e))
+	v.IsNil = true
+	return v
+}
+
+// ---------------------------------------------------------------------
+// Pi insertion
+
+type condAtom struct {
+	vs    *varState
+	op    token.Token
+	other ast.Expr
+}
+
+// createPis inserts refinement copies when child is a conditional
+// successor of parent with no other predecessors. Returns the varStates
+// pushed, for the caller to pop after renaming the child subtree.
+func (b *builder) createPis(parent, child int) []*varState {
+	atoms, cond := b.edgeAtoms(parent, child)
+	var pushed []*varState
+	for _, a := range atoms {
+		yv := b.f.ValueOf[a.other]
+		if yv == nil {
+			continue
+		}
+		cur := b.current(parent, a.vs)
+		pi := b.newValue(KPi, cond, child, a.vs.info.Type, cur)
+		pi.Refine = &Refinement{Op: a.op, Y: yv}
+		b.push(a.vs, pi)
+		pushed = append(pushed, a.vs)
+	}
+	return pushed
+}
+
+// edgeAtoms computes the refinements holding on the CFG edge
+// parent→child: parent must end in a two-way branch and child must have
+// parent as its only predecessor (otherwise facts from the other edges
+// would leak through). Shared by createPis (which materializes the pi
+// values during renaming) and preScan (which must count the pis as
+// definitions so phi placement sees them — a refinement followed by a
+// non-diverging join needs a phi to merge the refined and unrefined
+// versions).
+func (b *builder) edgeAtoms(parent, child int) ([]condAtom, ast.Expr) {
+	pblk := b.f.Graph.Blocks[parent]
+	if len(pblk.Succs) != 2 || len(pblk.Nodes) == 0 {
+		return nil, nil
+	}
+	if len(b.f.Dom.Preds[child]) != 1 {
+		return nil, nil
+	}
+	cond, ok := pblk.Nodes[len(pblk.Nodes)-1].(ast.Expr)
+	if !ok {
+		return nil, nil
+	}
+	pos := -1
+	for i, s := range pblk.Succs {
+		if s.Index == child {
+			pos = i
+		}
+	}
+	if pos == -1 {
+		return nil, nil
+	}
+	polarity := pos == 0 // Succs[0] is the true edge, Succs[1] the false edge
+	var atoms []condAtom
+	b.condAtoms(cond, polarity, &atoms)
+	return atoms, cond
+}
+
+// condAtoms decomposes a branch condition under the given polarity into
+// comparisons about tracked variables, normalized subject-on-the-left.
+func (b *builder) condAtoms(e ast.Expr, pol bool, out *[]condAtom) {
+	switch e := unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			if pol {
+				b.condAtoms(e.X, true, out)
+				b.condAtoms(e.Y, true, out)
+			}
+		case token.LOR:
+			if !pol {
+				b.condAtoms(e.X, false, out)
+				b.condAtoms(e.Y, false, out)
+			}
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			op := e.Op
+			if !pol {
+				op = negateCmp(op)
+			}
+			if vs := b.subjectOf(e.X); vs != nil {
+				*out = append(*out, condAtom{vs: vs, op: op, other: e.Y})
+			}
+			if vs := b.subjectOf(e.Y); vs != nil {
+				*out = append(*out, condAtom{vs: vs, op: flipCmp(op), other: e.X})
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			b.condAtoms(e.X, !pol, out)
+		}
+	}
+}
+
+// subjectOf resolves a comparison operand to a tracked variable.
+func (b *builder) subjectOf(e ast.Expr) *varState {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return b.trackedOf(b.info.Uses[e])
+	case *ast.SelectorExpr:
+		return b.pathOf(e)
+	}
+	return nil
+}
+
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	case token.LSS:
+		return token.GEQ
+	case token.GEQ:
+		return token.LSS
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	}
+	return op
+}
+
+// flipCmp swaps a comparison's operands: x < y  ==  y > x.
+func flipCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.GTR:
+		return token.LSS
+	case token.LEQ:
+		return token.GEQ
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}
+
+// ---------------------------------------------------------------------
+// Small helpers
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// isNilable reports whether t's zero value is nil.
+func isNilable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Map, *types.Slice,
+		*types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}

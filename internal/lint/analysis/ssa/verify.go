@@ -1,0 +1,123 @@
+package ssa
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// Verify checks the structural invariants of a built Func:
+//
+//  1. every non-phi use is dominated by its definition (same-block uses
+//     must follow the definition in evaluation order);
+//  2. a phi's argument count equals its block's predecessor count, each
+//     argument from a reachable predecessor is non-nil, and each
+//     argument's definition dominates (the end of) that predecessor;
+//  3. every value lives in a reachable block;
+//  4. ValueOf never maps an expression to a value in an unreachable
+//     block.
+//
+// The fuzz target and the repo-wide build test assert Verify returns
+// nil for every function skylint can load.
+func (f *Func) Verify() error {
+	dom := f.Dom
+	for _, v := range f.Values {
+		if v.Block < 0 || v.Block >= len(f.Graph.Blocks) {
+			return fmt.Errorf("value v%d: block %d out of range", v.ID, v.Block)
+		}
+		if !dom.Reachable[v.Block] {
+			return fmt.Errorf("value v%d (%v): defined in unreachable block %d", v.ID, v.Kind, v.Block)
+		}
+		switch v.Kind {
+		case KPhi:
+			preds := dom.Preds[v.Block]
+			if len(v.Args) != len(preds) {
+				return fmt.Errorf("phi v%d in block %d: %d args, %d predecessors",
+					v.ID, v.Block, len(v.Args), len(preds))
+			}
+			for i, a := range v.Args {
+				p := preds[i]
+				if !dom.Reachable[p] {
+					continue // unreachable edge: arg slot legitimately empty
+				}
+				if a == nil {
+					return fmt.Errorf("phi v%d in block %d: nil arg %d from reachable pred %d",
+						v.ID, v.Block, i, p)
+				}
+				if !dom.Dominates(a.Block, p) {
+					return fmt.Errorf("phi v%d in block %d: arg %d (v%d, block %d) does not dominate pred %d",
+						v.ID, v.Block, i, a.ID, a.Block, p)
+				}
+			}
+		case KPi:
+			if len(v.Args) != 1 {
+				return fmt.Errorf("pi v%d in block %d: %d args, want 1", v.ID, v.Block, len(v.Args))
+			}
+			preds := dom.Preds[v.Block]
+			if len(preds) != 1 {
+				return fmt.Errorf("pi v%d in block %d: block has %d preds, want 1", v.ID, v.Block, len(preds))
+			}
+			a := v.Args[0]
+			// A conjunction refining the same variable twice chains pis:
+			// the later pi's arg is the earlier pi in the same block.
+			chained := a.Block == v.Block && a.ID < v.ID
+			if !chained && !dom.Dominates(a.Block, preds[0]) {
+				return fmt.Errorf("pi v%d in block %d: arg v%d (block %d) does not dominate pred %d",
+					v.ID, v.Block, a.ID, a.Block, preds[0])
+			}
+		default:
+			for _, a := range v.Args {
+				if a == nil {
+					return fmt.Errorf("value v%d (%v) in block %d: nil arg", v.ID, v.Kind, v.Block)
+				}
+				if !dom.Dominates(a.Block, v.Block) {
+					return fmt.Errorf("value v%d (%v) in block %d: arg v%d (block %d) does not dominate use",
+						v.ID, v.Kind, v.Block, a.ID, a.Block)
+				}
+				if a.Block == v.Block && a.ID >= v.ID {
+					return fmt.Errorf("value v%d in block %d: arg v%d defined later in the same block",
+						v.ID, v.Block, a.ID)
+				}
+			}
+		}
+	}
+	for e, v := range f.ValueOf {
+		if v == nil {
+			return fmt.Errorf("ValueOf[%T@%v]: nil value", e, posOf(e.Pos()))
+		}
+		if !dom.Reachable[v.Block] {
+			return fmt.Errorf("ValueOf[%T@%v]: value v%d in unreachable block %d", e, posOf(e.Pos()), v.ID, v.Block)
+		}
+	}
+	return nil
+}
+
+func posOf(p token.Pos) any {
+	if !p.IsValid() {
+		return "-"
+	}
+	return int(p)
+}
+
+func (k Kind) String() string {
+	switch k {
+	case KUndef:
+		return "undef"
+	case KParam:
+		return "param"
+	case KConst:
+		return "const"
+	case KPhi:
+		return "phi"
+	case KPi:
+		return "pi"
+	case KCall:
+		return "call"
+	case KExtract:
+		return "extract"
+	case KOutDef:
+		return "outdef"
+	case KExpr:
+		return "expr"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}

@@ -1,3 +1,7 @@
+// Shared machinery for the "skylint:guardedby <mutex>" field
+// annotation. The enforcement itself lives in the lockset analyzer
+// (lockset.go); lockorder reuses the annotation scan to seed its
+// ordering graph, so the collection helpers live here on their own.
 package lint
 
 import (
@@ -5,64 +9,16 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
-	"strings"
 
 	"crowdsky/internal/lint/analysis"
 )
 
-// GuardedBy enforces the "skylint:guardedby <mutex>" field annotation:
-// a struct field carrying
-//
-//	// skylint:guardedby mu
-//
-// may only be read or written in functions that lock the named mutex
-// (mu.Lock or mu.RLock, on any receiver path) before the access. The
-// check is lexical within the enclosing function — the same approximation
-// human reviewers apply — so it catches the realistic failure mode: a new
-// method or handler that touches crowd.Stats accounting or telemetry
-// collector state while forgetting the lock, instead of going through the
-// Snapshot/accessor path.
-//
-// Functions whose name ends in "Locked" are exempt: by the standard Go
-// convention that suffix declares "caller holds the lock", which is
-// exactly the contract this analyzer cannot see lexically. The suffix is
-// load-bearing — renaming reapExpiredLocked to reapExpired would make its
-// unlocked field accesses diagnostics again.
-var GuardedBy = &analysis.Analyzer{
-	Name: "guardedby",
-	Doc: "fields annotated `skylint:guardedby mu` must only be accessed " +
-		"after locking the named mutex in the same function",
-	Run: runGuardedBy,
-}
-
 var guardedByRE = regexp.MustCompile(`skylint:guardedby\s+([A-Za-z_][A-Za-z0-9_]*)`)
-
-func runGuardedBy(pass *analysis.Pass) error {
-	guarded := collectGuardAnnotations(pass, func(pos token.Pos, mu string) {
-		pass.Reportf(pos, "skylint:guardedby names %q, but the struct has no such field", mu)
-	})
-	if len(guarded) == 0 {
-		return nil
-	}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if strings.HasSuffix(fd.Name.Name, "Locked") {
-				continue
-			}
-			checkGuardsInFunc(pass, fd, guarded)
-		}
-	}
-	return nil
-}
 
 // collectGuardAnnotations maps annotated field objects to their mutex
 // field name, validating that the mutex field exists in the same struct.
 // The report callback receives annotations naming a missing mutex field
-// (guardedby diagnoses them; lockorder, which shares the annotations,
+// (lockset diagnoses them; lockorder, which shares the annotations,
 // passes nil to avoid double-reporting).
 func collectGuardAnnotations(pass *analysis.Pass, report func(pos token.Pos, mu string)) map[types.Object]string {
 	guarded := make(map[types.Object]string)
@@ -118,58 +74,6 @@ func structHasField(st *ast.StructType, name string) bool {
 		}
 	}
 	return false
-}
-
-// checkGuardsInFunc flags accesses to guarded fields not preceded (in
-// source order, within fd) by a Lock or RLock call on the guarding mutex.
-func checkGuardsInFunc(pass *analysis.Pass, fd *ast.FuncDecl, guarded map[types.Object]string) {
-	type access struct {
-		pos token.Pos
-		obj types.Object
-		mu  string
-	}
-	lockPos := make(map[string][]token.Pos)
-	var accesses []access
-	ast.Inspect(fd, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			sel, ok := n.Fun.(*ast.SelectorExpr)
-			if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
-				return true
-			}
-			// The mutex is the last selector component before .Lock():
-			// s.mu.Lock(), c.inner.mu.RLock(), mu.Lock().
-			switch x := sel.X.(type) {
-			case *ast.SelectorExpr:
-				lockPos[x.Sel.Name] = append(lockPos[x.Sel.Name], n.Pos())
-			case *ast.Ident:
-				lockPos[x.Name] = append(lockPos[x.Name], n.Pos())
-			}
-		case *ast.SelectorExpr:
-			obj := pass.Info.Uses[n.Sel]
-			if obj == nil {
-				return true
-			}
-			if mu, ok := guarded[obj]; ok {
-				accesses = append(accesses, access{pos: n.Sel.Pos(), obj: obj, mu: mu})
-			}
-		}
-		return true
-	})
-	for _, a := range accesses {
-		held := false
-		for _, lp := range lockPos[a.mu] {
-			if lp < a.pos {
-				held = true
-				break
-			}
-		}
-		if !held {
-			pass.Reportf(a.pos,
-				"%s is guarded by %q (skylint:guardedby) but %s does not lock it before this access; use the accessor/Snapshot path or take the lock",
-				a.obj.Name(), a.mu, funcDesc(fd))
-		}
-	}
 }
 
 func funcDesc(fd *ast.FuncDecl) string {

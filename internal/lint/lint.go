@@ -27,14 +27,14 @@ import (
 
 // All returns every skylint analyzer, in stable order: the first
 // generation of lexical checks, then the CFG/dataflow generation
-// (lockorder through goroleak), the cross-package schema check, and the
+// (lockorder through goroleak), the cross-package schema check, the
 // interprocedural hot-path generation built on the call graph
-// (hotalloc through purity).
+// (hotalloc through purity), and the SSA value-flow generation
+// (nilness through crowdtaint), which subsumed the original niltrace
+// and guardedby analyzers.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
-		GuardedBy,
 		DetRange,
-		NilTrace,
 		FloatEq,
 		ErrDrop,
 		LockOrder,
@@ -45,6 +45,9 @@ func All() []*analysis.Analyzer {
 		HotAlloc,
 		RecvCopy,
 		Purity,
+		Nilness,
+		Lockset,
+		CrowdTaint,
 	}
 }
 

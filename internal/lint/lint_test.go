@@ -30,13 +30,22 @@ func TestCrossPackageChain(t *testing.T) {
 		[]string{"hot", "kernel"}, lint.HotAlloc)
 }
 
+// TestCrowdTaintJournal runs crowdtaint over the two-package recovery
+// fixture: journal.Read results are a taint source in the consuming
+// package, reaching a persistent map key and a slice index.
+func TestCrowdTaintJournal(t *testing.T) {
+	analysistest.RunMulti(t, filepath.Join("testdata", "crowdtaintjournal"),
+		[]string{"journal", "replay"}, lint.CrowdTaint)
+}
+
 // TestAnalyzerRegistry pins the analyzer set: removing one from All()
 // silently removes a correctness contract from CI.
 func TestAnalyzerRegistry(t *testing.T) {
 	want := []string{
-		"guardedby", "detrange", "niltrace", "floateq", "errdrop",
+		"detrange", "floateq", "errdrop",
 		"lockorder", "ctxleak", "wgbalance", "goroleak", "traceschema",
 		"hotalloc", "recvcopy", "purity",
+		"nilness", "lockset", "crowdtaint",
 	}
 	all := lint.All()
 	if len(all) != len(want) {
@@ -138,6 +147,54 @@ func TestToSARIF(t *testing.T) {
 	region := phys["region"].(map[string]any)
 	if region["startLine"] != float64(12) || region["startColumn"] != float64(3) {
 		t.Errorf("region = %v", region)
+	}
+}
+
+// TestToSARIFDedupAndRuleIndex pins two stability properties: identical
+// findings surfaced from multiple package roots collapse into one SARIF
+// result, and every result's ruleIndex points at its rule in the driver
+// rules array — which is All() order, so indexes cannot drift between
+// runs or flag combinations.
+func TestToSARIFDedupAndRuleIndex(t *testing.T) {
+	dup := lint.Finding{File: "internal/crowd/crowd.go", Line: 12, Col: 3, Analyzer: "ctxleak", Message: "leak"}
+	findings := []lint.Finding{
+		dup,
+		dup, // same package loaded under a second root
+		{File: "internal/core/skyline.go", Line: 40, Col: 9, Analyzer: "floateq", Message: "eq"},
+	}
+	raw, err := lint.ToSARIF(findings, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Runs []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	run := doc.Runs[0]
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2 (duplicate finding not collapsed)", len(run.Results))
+	}
+	for _, res := range run.Results {
+		if res.RuleIndex < 0 || res.RuleIndex >= len(run.Tool.Driver.Rules) {
+			t.Fatalf("ruleIndex %d out of range for %s", res.RuleIndex, res.RuleID)
+		}
+		if got := run.Tool.Driver.Rules[res.RuleIndex].ID; got != res.RuleID {
+			t.Errorf("ruleIndex %d resolves to rule %q, want %q", res.RuleIndex, got, res.RuleID)
+		}
 	}
 }
 

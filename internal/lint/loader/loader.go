@@ -30,6 +30,9 @@ type Package struct {
 	Files   []*ast.File
 	Pkg     *types.Package
 	Info    *types.Info
+	// TypeErrors holds the type-checker's complaints when the package
+	// was loaded with Options.AllowErrors; empty for a clean package.
+	TypeErrors []string
 }
 
 // Options selects what Load feeds the type checker.
@@ -41,6 +44,15 @@ type Options struct {
 	// package over the same directory, which the shared-FileSet pipeline
 	// does not model.
 	Tests bool
+
+	// AllowErrors returns a partial Package for sources that fail to
+	// type-check instead of failing the whole load: the syntax trees,
+	// the shared FileSet and whatever type information the checker
+	// recovered are kept, and the errors land in Package.TypeErrors.
+	// The analyzer driver stays strict (a broken tree should fail CI
+	// loudly, not silently under-report); tooling that inspects
+	// work-in-progress code opts in.
+	AllowErrors bool
 }
 
 // listEntry is the subset of `go list -json` output the loader consumes.
@@ -63,7 +75,7 @@ func Load(dir string, patterns []string, opts Options) ([]*Package, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "source", nil)
+	imp := newVendorAwareImporter(fset)
 	var out []*Package
 	for _, e := range entries {
 		pkg, err := loadOne(fset, imp, e, opts)
@@ -73,6 +85,59 @@ func Load(dir string, patterns []string, opts Options) ([]*Package, error) {
 		out = append(out, pkg)
 	}
 	return out, nil
+}
+
+// vendorAwareImporter works around a long-standing gap in the standard
+// source importer: go/build resolves module imports by shelling out to
+// the go command with vendoring disabled, so packages that only exist
+// under a module's vendor/ tree fail to import even though `go build`
+// compiles them fine. The wrapper tries the source importer first (the
+// fast path for the standard library and module-cache packages) and, on
+// failure, asks `go list` — which does honor vendor/ — where the package
+// lives, then type-checks those sources itself.
+type vendorAwareImporter struct {
+	fset  *token.FileSet
+	base  types.ImporterFrom
+	cache map[string]*types.Package
+}
+
+func newVendorAwareImporter(fset *token.FileSet) *vendorAwareImporter {
+	return &vendorAwareImporter{
+		fset:  fset,
+		base:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		cache: make(map[string]*types.Package),
+	}
+}
+
+func (v *vendorAwareImporter) Import(path string) (*types.Package, error) {
+	return v.ImportFrom(path, "", 0)
+}
+
+func (v *vendorAwareImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	pkg, err := v.base.ImportFrom(path, srcDir, mode)
+	if err == nil {
+		return pkg, nil
+	}
+	if cached, ok := v.cache[path]; ok {
+		return cached, nil
+	}
+	entries, listErr := goList(srcDir, []string{path})
+	if listErr != nil || len(entries) != 1 || len(entries[0].GoFiles) == 0 {
+		return nil, err // the source importer's error names the real problem
+	}
+	e := entries[0]
+	files := make([]string, len(e.GoFiles))
+	for i, f := range e.GoFiles {
+		files[i] = filepath.Join(e.Dir, f)
+	}
+	// Recursive imports of the vendored package come back through v, so
+	// vendored dependencies of vendored dependencies resolve too.
+	loaded, cErr := typecheck(v.fset, v, path, e.Dir, files)
+	if cErr != nil {
+		return nil, cErr
+	}
+	v.cache[path] = loaded.Pkg
+	return loaded.Pkg, nil
 }
 
 // LoadDir parses every .go file directly inside dir as one package and
@@ -241,10 +306,14 @@ func loadOne(fset *token.FileSet, imp types.Importer, e listEntry, opts Options)
 	for i, f := range names {
 		files[i] = filepath.Join(e.Dir, f)
 	}
-	return typecheck(fset, imp, e.ImportPath, e.Dir, files)
+	return typecheckOpt(fset, imp, e.ImportPath, e.Dir, files, opts.AllowErrors)
 }
 
 func typecheck(fset *token.FileSet, imp types.Importer, pkgPath, dir string, files []string) (*Package, error) {
+	return typecheckOpt(fset, imp, pkgPath, dir, files, false)
+}
+
+func typecheckOpt(fset *token.FileSet, imp types.Importer, pkgPath, dir string, files []string, allowErrors bool) (*Package, error) {
 	var asts []*ast.File
 	for _, f := range files {
 		parsed, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
@@ -267,12 +336,17 @@ func typecheck(fset *token.FileSet, imp types.Importer, pkgPath, dir string, fil
 		},
 	}
 	tpkg, err := conf.Check(pkgPath, fset, asts, info)
-	if len(typeErrs) > 0 {
-		return nil, fmt.Errorf("loader: type errors in %s:\n  %s", pkgPath, strings.Join(typeErrs, "\n  "))
-	}
-	if err != nil {
-		return nil, fmt.Errorf("loader: type-checking %s: %v", pkgPath, err)
+	if len(typeErrs) > 0 || err != nil {
+		if !allowErrors || tpkg == nil {
+			if len(typeErrs) > 0 {
+				return nil, fmt.Errorf("loader: type errors in %s:\n  %s", pkgPath, strings.Join(typeErrs, "\n  "))
+			}
+			return nil, fmt.Errorf("loader: type-checking %s: %v", pkgPath, err)
+		}
+		if len(typeErrs) == 0 {
+			typeErrs = append(typeErrs, err.Error())
+		}
 	}
 	name := tpkg.Name()
-	return &Package{PkgPath: pkgPath, Name: name, Dir: dir, Fset: fset, Files: asts, Pkg: tpkg, Info: info}, nil
+	return &Package{PkgPath: pkgPath, Name: name, Dir: dir, Fset: fset, Files: asts, Pkg: tpkg, Info: info, TypeErrors: typeErrs}, nil
 }

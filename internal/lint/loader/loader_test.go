@@ -1,0 +1,128 @@
+package loader
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module on disk: files maps
+// module-relative paths to contents. Returns the module root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadBuildTags checks that package enumeration respects build
+// constraints: a file excluded by its //go:build line must not reach the
+// parser, so analyzers never see code the compiler would not.
+func TestLoadBuildTags(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tagmod\n\ngo 1.21\n",
+		"a.go":   "package tagmod\n\nfunc Kept() int { return 1 }\n",
+		"b.go":   "//go:build never_enabled\n\npackage tagmod\n\nfunc Dropped() int { return undefinedOnPurpose }\n",
+	})
+	pkgs, err := Load(dir, []string{"."}, Options{})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (build-constrained file must be excluded)", len(pkg.Files))
+	}
+	if pkg.Pkg.Scope().Lookup("Kept") == nil {
+		t.Error("Kept not in package scope")
+	}
+	if pkg.Pkg.Scope().Lookup("Dropped") != nil {
+		t.Error("Dropped leaked into the package scope despite its build tag")
+	}
+}
+
+// TestLoadAllowErrors covers the partial-result path: a package that
+// fails to type-check is fatal by default, but with AllowErrors the
+// loader keeps the syntax trees and whatever the checker recovered, and
+// surfaces the complaints in Package.TypeErrors.
+func TestLoadAllowErrors(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module brokenmod\n\ngo 1.21\n",
+		"a.go":   "package brokenmod\n\nfunc Fine() int { return 1 }\n\nfunc Broken() int { return notDefined }\n",
+	})
+	if _, err := Load(dir, []string{"."}, Options{}); err == nil {
+		t.Fatal("strict Load of a package with type errors succeeded, want error")
+	} else if !strings.Contains(err.Error(), "notDefined") {
+		t.Fatalf("strict Load error does not mention the bad identifier: %v", err)
+	}
+
+	pkgs, err := Load(dir, []string{"."}, Options{AllowErrors: true})
+	if err != nil {
+		t.Fatalf("Load with AllowErrors: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.TypeErrors) == 0 {
+		t.Fatal("partial package has no TypeErrors recorded")
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("partial package has %d files, want 1", len(pkg.Files))
+	}
+	// The checker recovers everything not touched by the error.
+	if pkg.Pkg == nil || pkg.Pkg.Scope().Lookup("Fine") == nil {
+		t.Error("recovered scope is missing the healthy declaration Fine")
+	}
+}
+
+// TestLoadVendoredImport checks resolution through a vendor directory:
+// with vendor/ present the go toolchain resolves the dependency there
+// automatically, and the source importer must type-check the vendored
+// sources so the importing package sees real object information.
+func TestLoadVendoredImport(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module vendmod\n\ngo 1.21\n\nrequire example.com/dep v0.0.0-00010101000000-000000000000\n",
+		"a.go": "package vendmod\n\nimport \"example.com/dep\"\n\n" +
+			"func Use() int { return dep.Answer() }\n",
+		"vendor/modules.txt": "# example.com/dep v0.0.0-00010101000000-000000000000\n" +
+			"## explicit; go 1.21\nexample.com/dep\n",
+		"vendor/example.com/dep/dep.go": "package dep\n\nfunc Answer() int { return 42 }\n",
+	})
+	pkgs, err := Load(dir, []string{"."}, Options{})
+	if err != nil {
+		t.Fatalf("Load with vendored dependency: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	use := pkg.Pkg.Scope().Lookup("Use")
+	if use == nil {
+		t.Fatal("Use not in package scope")
+	}
+	depPkg := pkg.Pkg.Imports()
+	found := false
+	for _, p := range depPkg {
+		if p.Path() == "example.com/dep" {
+			found = true
+			if p.Scope().Lookup("Answer") == nil {
+				t.Error("vendored dep type-checked without its exported Answer")
+			}
+		}
+	}
+	if !found {
+		t.Errorf("example.com/dep not among imports %v", depPkg)
+	}
+}

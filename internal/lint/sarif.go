@@ -44,7 +44,12 @@ type sarifMessage struct {
 }
 
 type sarifResult struct {
-	RuleID    string          `json:"ruleId"`
+	RuleID string `json:"ruleId"`
+	// RuleIndex is the result's index into the driver rules array. The
+	// rules are the full registry in All() order, so the index for a
+	// given analyzer is identical across runs, package orderings, and
+	// flag combinations (-tests or not).
+	RuleIndex int             `json:"ruleIndex"`
 	Level     string          `json:"level"`
 	Message   sarifMessage    `json:"message"`
 	Locations []sarifLocation `json:"locations"`
@@ -76,18 +81,34 @@ const sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/m
 // sorted if deterministic output matters to the caller.
 func ToSARIF(findings []Finding, analyzers []*analysis.Analyzer) ([]byte, error) {
 	rules := make([]sarifRule, 0, len(analyzers))
-	for _, a := range analyzers {
+	ruleIndex := make(map[string]int, len(analyzers))
+	for i, a := range analyzers {
+		ruleIndex[a.Name] = i
 		rules = append(rules, sarifRule{
 			ID:               a.Name,
 			ShortDescription: sarifMessage{Text: a.Doc},
 		})
 	}
+	// Overlapping package patterns (or -tests loading a package twice)
+	// can surface the same diagnostic from more than one root; a SARIF
+	// consumer treats each result as distinct, so exact duplicates are
+	// dropped here.
+	seen := make(map[Finding]bool, len(findings))
 	results := make([]sarifResult, 0, len(findings))
 	for _, f := range findings {
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		idx, ok := ruleIndex[f.Analyzer]
+		if !ok {
+			idx = -1 // SARIF's "not in the rules array" sentinel
+		}
 		results = append(results, sarifResult{
-			RuleID:  f.Analyzer,
-			Level:   "warning",
-			Message: sarifMessage{Text: f.Message},
+			RuleID:    f.Analyzer,
+			RuleIndex: idx,
+			Level:     "warning",
+			Message:   sarifMessage{Text: f.Message},
 			Locations: []sarifLocation{{
 				PhysicalLocation: sarifPhysicalLocation{
 					// SARIF artifact URIs always use forward slashes.

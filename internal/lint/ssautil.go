@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"crowdsky/internal/lint/analysis"
+	"crowdsky/internal/lint/analysis/callgraph"
+	"crowdsky/internal/lint/analysis/ssa"
+)
+
+// ssaCache memoizes the SSA form of each call-graph node for the whole
+// skylint run. nilness and crowdtaint both solve value-flow problems over
+// every function body; sharing one cache through the Program fact store
+// keeps the construction cost paid once per function, not once per
+// analyzer (the wall-time acceptance bound depends on it).
+type ssaCache struct {
+	funcs map[*callgraph.Node]*ssa.Func
+}
+
+// sharedSSA returns the run-wide SSA cache, creating it on first use.
+func sharedSSA(prog *analysis.Program) *ssaCache {
+	return prog.Fact("ssa.cache", func() any {
+		return &ssaCache{funcs: make(map[*callgraph.Node]*ssa.Func)}
+	}).(*ssaCache)
+}
+
+// Func builds (or returns the cached) SSA form of n's body. Nodes
+// without a body or without a defining pass — external declarations,
+// the per-package init pseudo-node — yield nil.
+func (c *ssaCache) Func(n *callgraph.Node) *ssa.Func {
+	if f, ok := c.funcs[n]; ok {
+		return f
+	}
+	var f *ssa.Func
+	switch {
+	case n.Pass == nil || n.Body == nil:
+		// nothing to build
+	case n.Decl != nil:
+		f = ssa.BuildFunc(n.Decl, n.Pass.Info)
+	case n.Lit != nil:
+		f = ssa.BuildLit(n.Lit, n.Pass.Info)
+	}
+	c.funcs[n] = f
+	return f
+}

@@ -1,0 +1,116 @@
+// Fixture for the crowdtaint analyzer: crowd-controlled data (HTTP
+// request fields, decoded judgment payloads) must not reach filesystem
+// paths, unchecked slice indexes, or persistent map keys without
+// passing a sanitizer.
+package crowdtaint
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+type state struct {
+	seen  map[string]bool
+	idem  map[string]int
+	names map[string]string
+	items []int
+}
+
+var registry = map[string]int{}
+
+// Persistent map keys: struct-field and package-level maps outlive the
+// request, so raw client strings must not key them.
+func mapKeyBad(s *state, r *http.Request) {
+	w := r.URL.Query().Get("worker")
+	s.seen[w] = true // want `w is crowd-controlled and is stored as a key of persistent map s.seen`
+}
+
+func mapKeyGlobal(r *http.Request) {
+	registry[r.URL.Query().Get("worker")]++ // want `stored as a key of persistent map registry`
+}
+
+// Formatting does not launder: the composite inherits the field's taint.
+func mapKeyFormatted(s *state, r *http.Request) {
+	key := fmt.Sprintf("round-%s", r.Header.Get("Idempotency-Key"))
+	s.idem[key] = 1 // want `key is crowd-controlled and is stored as a key of persistent map s.idem`
+}
+
+// A request-local scratch map is not persistent state.
+func mapKeyScratch(r *http.Request) int {
+	scratch := map[string]int{}
+	scratch[r.URL.Query().Get("worker")]++
+	return len(scratch)
+}
+
+// cleanID keeps identifiers to a safe charset, rejecting the rest.
+//
+// skylint:sanitizer
+func cleanID(s string) (string, bool) {
+	if s == "" || len(s) > 64 {
+		return "", false
+	}
+	return s, true
+}
+
+func mapKeySanitized(s *state, r *http.Request) {
+	w, ok := cleanID(r.URL.Query().Get("worker"))
+	if !ok {
+		return
+	}
+	s.seen[w] = true
+}
+
+// Reading a trusted container with a tainted key yields trusted data.
+func mapKeyLaundered(s *state, r *http.Request) {
+	name := s.names[r.URL.Query().Get("worker")]
+	s.seen[name] = true
+}
+
+// Slice indexes: tainted and unbounded panics on demand.
+func indexBad(s *state, r *http.Request) int {
+	n, _ := strconv.Atoi(r.URL.Query().Get("i"))
+	return s.items[n] // want `n is crowd-controlled and indexes s.items without a bounds check`
+}
+
+// A dominating bounds check clears the unbounded bit on the fall-through
+// edge (SSA pi refinement), so the same access is fine here.
+func indexChecked(s *state, r *http.Request) int {
+	n, _ := strconv.Atoi(r.URL.Query().Get("i"))
+	if n < 0 || n >= len(s.items) {
+		return 0
+	}
+	return s.items[n]
+}
+
+// Decoded judgment payloads are as tainted as the request body.
+func decodeBad(s *state, r *http.Request) {
+	var body struct {
+		Worker string
+		Index  int
+	}
+	_ = json.NewDecoder(r.Body).Decode(&body)
+	s.seen[body.Worker] = true // want `body.Worker is crowd-controlled and is stored as a key of persistent map s.seen`
+	_ = s.items[body.Index]    // want `body.Index is crowd-controlled and indexes s.items without a bounds check`
+}
+
+// Filesystem paths: a worker-chosen name can traverse directories.
+func pathBad(r *http.Request) {
+	name := r.URL.Query().Get("f")
+	_, _ = os.Open(name) // want `name is crowd-controlled and reaches os.Open as a filesystem path`
+}
+
+func pathSanitized(r *http.Request) {
+	name := r.URL.Query().Get("f")
+	_, _ = os.Open(filepath.Base(name))
+}
+
+// Suppression uses the standard skylint:ignore grammar.
+func suppressed(s *state, r *http.Request) {
+	w := r.URL.Query().Get("worker")
+	// skylint:ignore crowdtaint trusted admin endpoint
+	s.seen[w] = true
+}

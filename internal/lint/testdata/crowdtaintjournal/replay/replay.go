@@ -1,0 +1,35 @@
+// Recovery-path fixture: journal records are a crowdtaint source, so
+// replaying them into persistent maps or slice indexes needs the same
+// validation as live network input.
+package replay
+
+import "journal"
+
+var counts = map[string]int{}
+
+func replayBad(data []byte, votes []int) {
+	for _, e := range journal.Read(data) {
+		counts[e.Worker]++ // want `e.Worker is crowd-controlled and is stored as a key of persistent map counts`
+		idx := e.Index
+		votes[idx]++ // want `idx is crowd-controlled and indexes votes without a bounds check`
+	}
+}
+
+func replayChecked(data []byte, votes []int) {
+	for _, e := range journal.Read(data) {
+		idx := e.Index
+		if idx < 0 || idx >= len(votes) {
+			continue
+		}
+		votes[idx]++
+	}
+}
+
+// The range index over the replayed slice is in-bounds by construction,
+// unlike the indexes stored inside the records.
+func replayRangeKey(data []byte) {
+	entries := journal.Read(data)
+	for i := range entries {
+		entries[i].Index = 0
+	}
+}

@@ -1,7 +1,9 @@
-// Fixture for the niltrace analyzer: Emit on a Tracer-typed value must be
-// nil-guarded. The local Tracer interface stands in for telemetry.Tracer
-// (the analyzer matches any interface named Tracer).
-package niltrace
+// Fixture for the nilness analyzer's inherited Tracer policy: Emit on a
+// Tracer-typed value must be nil-guarded. The local Tracer interface
+// stands in for telemetry.Tracer (the analyzer matches any interface
+// named Tracer). The suppression below uses the legacy "niltrace" alias
+// on purpose — it must keep working after the subsumption.
+package nilness
 
 type Event struct{ Name string }
 

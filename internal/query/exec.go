@@ -74,6 +74,7 @@ func Execute(q *Query, cat Catalog, opt ExecOptions) (*Result, error) {
 	// Split SKYLINE OF attributes into known (table column exists) and
 	// crowd (missing from the table → preferences must come from crowds).
 	var knownAttrs, crowdAttrs []SkylineAttr
+	var knownCols []*Column
 	for _, a := range q.Skyline {
 		if strings.HasPrefix(a.Name, "_") {
 			return nil, fmt.Errorf("query: %q is a latent column and cannot be queried directly", a.Name)
@@ -84,6 +85,7 @@ func Execute(q *Query, cat Catalog, opt ExecOptions) (*Result, error) {
 			crowdAttrs = append(crowdAttrs, a)
 		case col.IsNumeric():
 			knownAttrs = append(knownAttrs, a)
+			knownCols = append(knownCols, col)
 		default:
 			return nil, fmt.Errorf("query: skyline attribute %q is not numeric", a.Name)
 		}
@@ -109,7 +111,7 @@ func Execute(q *Query, cat Catalog, opt ExecOptions) (*Result, error) {
 	for k, i := range keep {
 		row := make([]float64, len(knownAttrs))
 		for j, a := range knownAttrs {
-			v := tbl.Column(a.Name).Numeric[i]
+			v := knownCols[j].Numeric[i]
 			if a.Direction == Max {
 				v = -v
 			}

@@ -355,7 +355,9 @@ func (ix *Index) buildBitmap() {
 		acc.pairs += localPairs
 		acc.mu.Unlock()
 	})
+	acc.mu.Lock()
 	ix.stats.Pairs = acc.pairs
+	acc.mu.Unlock()
 }
 
 // buildAttrOrder materializes the global per-attribute value order
@@ -821,4 +823,3 @@ func latentStrictlyDominates(d *dataset.Dataset, s, t, dc int) bool {
 	}
 	return strict
 }
-
